@@ -1,0 +1,100 @@
+//! Board emulation throughput: how many bus references per second the
+//! software board absorbs, by node count and mode.
+//!
+//! The real board runs at bus speed by construction; this bench records
+//! what the *model* sustains, which bounds how much paper-scale trace a
+//! software reproduction can afford (the DESIGN.md scaling rule).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use memories::{BoardConfig, CacheParams, MemoriesBoard};
+use memories_bus::{Address, BusListener, BusOp, ProcId, SnoopResponse, Transaction};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn params(capacity: u64) -> CacheParams {
+    CacheParams::builder()
+        .capacity(capacity)
+        .ways(4)
+        .line_size(128)
+        .allow_scaled_down()
+        .build()
+        .expect("valid bench parameters")
+}
+
+fn transactions(n: usize) -> Vec<Transaction> {
+    let mut rng = SmallRng::seed_from_u64(42);
+    (0..n as u64)
+        .map(|i| {
+            let op = match rng.random_range(0..10) {
+                0..=5 => BusOp::Read,
+                6..=7 => BusOp::Rwitm,
+                8 => BusOp::DClaim,
+                _ => BusOp::WriteBack,
+            };
+            Transaction::new(
+                i,
+                i * 60, // 20% utilization spacing
+                ProcId::new(rng.random_range(0..8)),
+                op,
+                Address::new(rng.random_range(0..1u64 << 20) * 128),
+                SnoopResponse::Null,
+            )
+        })
+        .collect()
+}
+
+fn bench_board(c: &mut Criterion) {
+    let txns = transactions(100_000);
+    let mut group = c.benchmark_group("board_throughput");
+    group.throughput(Throughput::Elements(txns.len() as u64));
+
+    for (label, config) in [
+        (
+            "single_node",
+            BoardConfig::single_node(params(16 << 20), (0..8).map(ProcId::new)).unwrap(),
+        ),
+        (
+            "four_nodes_one_domain",
+            BoardConfig::multi_node(
+                params(16 << 20),
+                (0..4)
+                    .map(|n| (2 * n..2 * n + 2).map(|c| ProcId::new(c as u8)).collect())
+                    .collect(),
+            )
+            .unwrap(),
+        ),
+        (
+            "four_parallel_configs",
+            BoardConfig::parallel_configs(
+                vec![
+                    params(2 << 20),
+                    params(8 << 20),
+                    params(32 << 20),
+                    params(128 << 20),
+                ],
+                (0..8).map(ProcId::new).collect(),
+            )
+            .unwrap(),
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, cfg| {
+            b.iter(|| {
+                let mut board = MemoriesBoard::new(cfg.clone()).unwrap();
+                for t in &txns {
+                    black_box(board.on_transaction(t));
+                }
+                board.global().transactions()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_board
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! The Table 3 comparison as a microbenchmark: the trace-driven
+//! reference simulator vs. the board model on the same trace.
+//!
+//! (On 2020s hardware both are fast; the paper-vs-board wall-clock story
+//! is reproduced by `repro table3`, which also models the paper-era
+//! simulator. This bench tracks the *relative* cost of the two code
+//! paths and catches regressions in either.)
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use memories::{BoardConfig, CacheParams, MemoriesBoard};
+use memories_bus::{Address, BusListener, BusOp, ProcId, SnoopResponse};
+use memories_protocol::standard;
+use memories_sim::CacheSim;
+use memories_trace::TraceRecord;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn trace(n: usize) -> Vec<TraceRecord> {
+    let mut rng = SmallRng::seed_from_u64(7);
+    (0..n)
+        .map(|_| {
+            let op = match rng.random_range(0..10) {
+                0..=5 => BusOp::Read,
+                6..=7 => BusOp::Rwitm,
+                8 => BusOp::DClaim,
+                _ => BusOp::WriteBack,
+            };
+            TraceRecord::new(
+                op,
+                ProcId::new(rng.random_range(0..8)),
+                SnoopResponse::Null,
+                Address::new(rng.random_range(0..1u64 << 19) * 128),
+            )
+        })
+        .collect()
+}
+
+fn params() -> CacheParams {
+    CacheParams::builder()
+        .capacity(16 << 20)
+        .ways(4)
+        .build()
+        .expect("valid")
+}
+
+fn bench(c: &mut Criterion) {
+    let recs = trace(100_000);
+    let mut group = c.benchmark_group("csim_vs_board");
+    group.throughput(Throughput::Elements(recs.len() as u64));
+
+    group.bench_function("csim", |b| {
+        b.iter(|| {
+            let mut sim = CacheSim::new(params(), standard::mesi());
+            for r in &recs {
+                sim.step(black_box(r));
+            }
+            sim.counts().get(memories::NodeCounter::ReadHits)
+        });
+    });
+
+    group.bench_function("board", |b| {
+        b.iter(|| {
+            let cfg = BoardConfig::single_node(params(), (0..8).map(ProcId::new)).unwrap();
+            let mut board = MemoriesBoard::new(cfg).unwrap();
+            for (i, r) in recs.iter().enumerate() {
+                let txn = r.to_transaction(i as u64, i as u64 * 60);
+                black_box(board.on_transaction(&txn));
+            }
+            board.global().transactions()
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Protocol-table machinery costs: table lookup (the per-event hot path
+//! of every node controller) and map-file parsing (the console's
+//! initialization path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use memories_protocol::{standard, AccessEvent, ProtocolTable, RemoteSummary, StateId};
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_lookup");
+    group.throughput(Throughput::Elements(
+        (AccessEvent::ALL.len() * RemoteSummary::ALL.len()) as u64 * 4,
+    ));
+    for table in standard::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(table.name().to_string()),
+            &table,
+            |b, t| {
+                let states: Vec<StateId> = StateId::all(t.state_count()).collect();
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for event in AccessEvent::ALL {
+                        for &state in states.iter().take(4) {
+                            for remote in RemoteSummary::ALL {
+                                let tr = t.lookup(event, state, remote);
+                                acc = acc.wrapping_add(u64::from(tr.next.value()));
+                            }
+                        }
+                    }
+                    black_box(acc)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_parse");
+    group.bench_function("mesi_map_file", |b| {
+        b.iter(|| ProtocolTable::parse_map_file(black_box(standard::MESI_MAP)).unwrap());
+    });
+    group.bench_function("roundtrip", |b| {
+        let table = standard::moesi();
+        b.iter(|| {
+            let text = table.to_map_file();
+            ProtocolTable::parse_map_file(black_box(&text)).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_lookup, bench_parse
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Tag store throughput per replacement policy — the ablation for the
+//! board's programmable replacement attribute (the SDRAM tables spend
+//! their cycles here, so policy cost matters for the 42% ceiling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use memories::{CacheParams, ReplacementPolicy, TagStore};
+use memories_bus::Address;
+use memories_protocol::StateId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_policies(c: &mut Criterion) {
+    let addresses: Vec<Address> = {
+        let mut rng = SmallRng::seed_from_u64(5);
+        (0..100_000)
+            .map(|_| Address::new(rng.random_range(0..1u64 << 17) * 128))
+            .collect()
+    };
+
+    let mut group = c.benchmark_group("tagstore_allocate_touch");
+    group.throughput(Throughput::Elements(addresses.len() as u64));
+    for policy in ReplacementPolicy::ALL {
+        let params = CacheParams::builder()
+            .capacity(4 << 20)
+            .ways(8)
+            .line_size(128)
+            .replacement(policy)
+            .build()
+            .expect("valid bench parameters");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.keyword()),
+            &params,
+            |b, p| {
+                b.iter(|| {
+                    let mut store = TagStore::new(p);
+                    let geom = *store.geometry();
+                    let state = StateId::new(1);
+                    for a in &addresses {
+                        let line = geom.line_addr(*a);
+                        if !store.touch(line) {
+                            black_box(store.allocate(line, state));
+                        }
+                    }
+                    store.resident_lines()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_policies
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Workload generator throughput: events per second for each synthetic
+//! workload. Generators must stay far cheaper than the machine model
+//! they feed or the experiments starve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use memories_workloads::splash::{Barnes, Fft, Fmm, Ocean, Water};
+use memories_workloads::{DssConfig, DssWorkload, OltpConfig, OltpWorkload, Workload};
+
+fn bench_generators(c: &mut Criterion) {
+    const EVENTS: u64 = 200_000;
+    let mut group = c.benchmark_group("workload_events");
+    group.throughput(Throughput::Elements(EVENTS));
+
+    let makers: Vec<(&str, Box<dyn Fn() -> Box<dyn Workload>>)> = vec![
+        (
+            "tpcc",
+            Box::new(|| Box::new(OltpWorkload::new(OltpConfig::scaled_default()))),
+        ),
+        (
+            "tpch",
+            Box::new(|| Box::new(DssWorkload::new(DssConfig::scaled_default()))),
+        ),
+        ("fft", Box::new(|| Box::new(Fft::scaled(8, 20, 7)))),
+        ("ocean", Box::new(|| Box::new(Ocean::scaled(8, 1026, 7)))),
+        (
+            "barnes",
+            Box::new(|| Box::new(Barnes::scaled(8, 1 << 18, 7))),
+        ),
+        ("water", Box::new(|| Box::new(Water::scaled(8, 30_000, 7)))),
+        ("fmm", Box::new(|| Box::new(Fmm::scaled(8, 1 << 16, 7)))),
+    ];
+
+    for (name, make) in makers {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut w = make();
+                let mut acc = 0u64;
+                for _ in 0..EVENTS {
+                    if w.next_event().is_ref() {
+                        acc += 1;
+                    }
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_generators
+}
+criterion_main!(benches);

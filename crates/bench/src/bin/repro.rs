@@ -1,0 +1,79 @@
+//! `repro`: regenerate the MemorIES paper's tables and figures.
+//!
+//! ```text
+//! repro [--quick] <experiment | all>
+//!
+//! experiments: table1 table2 table3 table4 table5 table6
+//!              fig8 fig9 fig10 fig11 fig12 retries
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use memories_bench::experiments;
+use memories_bench::Scale;
+
+const EXPERIMENTS: [&str; 13] = [
+    "table1", "table2", "table3", "table4", "table5", "table6", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "retries", "ablation",
+];
+
+fn run_one(name: &str, scale: Scale) -> Result<String, String> {
+    let out = match name {
+        "table1" => experiments::table1::render(),
+        "table2" => experiments::table2::render(),
+        "table3" => experiments::table3::run(scale).render(),
+        "table4" => experiments::table4::run().render(),
+        "table5" => experiments::table5::run(scale).render(),
+        "table6" => experiments::table6::run(scale).render(),
+        "fig8" => experiments::fig8::run(scale).render(),
+        "fig9" => experiments::fig9::run(scale).render(),
+        "fig10" => experiments::fig10::run(scale).render(),
+        "fig11" => experiments::fig11::run(scale).render(),
+        "fig12" => experiments::fig12::run(scale).render(),
+        "retries" => experiments::retries::run(scale).render(),
+        "ablation" => experiments::ablation::run(scale).render(),
+        other => return Err(format!("unknown experiment {other:?}")),
+    };
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Full;
+    let mut targets: Vec<String> = Vec::new();
+    for arg in env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--quick] <experiment | all>\nexperiments: {}",
+                    EXPERIMENTS.join(" ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        eprintln!("no experiment named; try `repro all` (see --help)");
+        return ExitCode::FAILURE;
+    }
+    let names: Vec<&str> = if targets.iter().any(|t| t == "all") {
+        EXPERIMENTS.to_vec()
+    } else {
+        targets.iter().map(String::as_str).collect()
+    };
+
+    for name in names {
+        match run_one(name, scale) {
+            Ok(out) => {
+                println!("{out}");
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,203 @@
+//! Ablations over the board's programmable attributes: replacement
+//! policy and line size.
+//!
+//! Table 2 lists line size (128 B – 16 KB) among the emulation
+//! parameters, and §2 names replacement algorithms as a programmable
+//! attribute; these sweeps show why a designer would burn board time on
+//! them. Each sweep is a single run in Figure-4 parallel mode: one
+//! configuration per node controller, identical traffic.
+
+use memories::{BoardConfig, CacheParams, NodeSlot, ReplacementPolicy};
+use memories_bus::ProcId;
+use memories_console::report::{bytes, Table};
+use memories_console::Experiment;
+use memories_workloads::{DssConfig, DssWorkload, OltpConfig, OltpWorkload, Workload};
+
+use super::{scaled_host, Scale};
+
+/// One ablation measurement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Point {
+    /// Configuration label.
+    pub label: String,
+    /// Miss ratio under OLTP traffic.
+    pub oltp_miss_ratio: f64,
+    /// Miss ratio under DSS (scan-heavy) traffic.
+    pub dss_miss_ratio: f64,
+}
+
+/// The experiment result.
+#[derive(Clone, Debug)]
+pub struct Ablation {
+    /// Replacement-policy sweep at 4 MB, 4-way, 128 B lines.
+    pub replacement: Vec<Point>,
+    /// Line-size sweep at 16 MB, 4-way.
+    pub line_size: Vec<Point>,
+}
+
+fn run_slots(slots: Vec<NodeSlot>, workload: &mut dyn Workload, refs: u64) -> Vec<f64> {
+    let board = BoardConfig::from_slots(slots).expect("ablation slots are valid");
+    let exp = Experiment::new(scaled_host(256 << 10, 4), board).expect("valid experiment");
+    let result = exp.run(workload, refs);
+    result.node_stats.iter().map(|s| s.miss_ratio()).collect()
+}
+
+fn params(capacity: u64, ways: u32, line: u64, policy: ReplacementPolicy) -> CacheParams {
+    CacheParams::builder()
+        .capacity(capacity)
+        .ways(ways)
+        .line_size(line)
+        .replacement(policy)
+        .allow_scaled_down()
+        .build()
+        .expect("ablation parameters are valid")
+}
+
+/// Runs both sweeps.
+pub fn run(scale: Scale) -> Ablation {
+    let refs = scale.pick(250_000, 1_200_000);
+    let cpus: Vec<ProcId> = (0..8).map(ProcId::new).collect();
+
+    // Replacement sweep: one policy per node controller, own domains.
+    let policies = ReplacementPolicy::ALL;
+    let policy_slots = |line: u64| -> Vec<NodeSlot> {
+        policies
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                NodeSlot::new(params(4 << 20, 4, line, *p), cpus.iter().copied()).in_domain(i as u8)
+            })
+            .collect()
+    };
+    let mut oltp = OltpWorkload::new(OltpConfig {
+        journal: None,
+        ..OltpConfig::scaled_default()
+    });
+    let oltp_repl = run_slots(policy_slots(128), &mut oltp, refs);
+    let mut dss = DssWorkload::new(DssConfig::scaled_default());
+    let dss_repl = run_slots(policy_slots(128), &mut dss, refs);
+    let replacement = policies
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Point {
+            label: p.keyword().to_string(),
+            oltp_miss_ratio: oltp_repl[i],
+            dss_miss_ratio: dss_repl[i],
+        })
+        .collect();
+
+    // Line-size sweep at fixed capacity (bigger lines trade spatial
+    // prefetch against fewer, more conflict-prone entries).
+    let lines: [u64; 4] = [128, 512, 2048, 16384];
+    let line_slots = || -> Vec<NodeSlot> {
+        lines
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| {
+                NodeSlot::new(
+                    params(16 << 20, 4, l, ReplacementPolicy::Lru),
+                    cpus.iter().copied(),
+                )
+                .in_domain(i as u8)
+            })
+            .collect()
+    };
+    let mut oltp = OltpWorkload::new(OltpConfig {
+        journal: None,
+        ..OltpConfig::scaled_default()
+    });
+    let oltp_line = run_slots(line_slots(), &mut oltp, refs);
+    let mut dss = DssWorkload::new(DssConfig::scaled_default());
+    let dss_line = run_slots(line_slots(), &mut dss, refs);
+    let line_size = lines
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| Point {
+            label: bytes(l),
+            oltp_miss_ratio: oltp_line[i],
+            dss_miss_ratio: dss_line[i],
+        })
+        .collect();
+
+    Ablation {
+        replacement,
+        line_size,
+    }
+}
+
+impl Ablation {
+    /// Renders both sweeps.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut t = Table::new(["replacement", "OLTP miss ratio", "DSS miss ratio"])
+            .with_title("Ablation: replacement policy (4MB, 4-way, 128B lines)");
+        for p in &self.replacement {
+            t.row([
+                p.label.clone(),
+                format!("{:.4}", p.oltp_miss_ratio),
+                format!("{:.4}", p.dss_miss_ratio),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+        let mut t = Table::new(["line size", "OLTP miss ratio", "DSS miss ratio"])
+            .with_title("Ablation: line size (16MB, 4-way, LRU)");
+        for p in &self.line_size {
+            t.row([
+                p.label.clone(),
+                format!("{:.4}", p.oltp_miss_ratio),
+                format!("{:.4}", p.dss_miss_ratio),
+            ]);
+        }
+        out.push_str(&t.render());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_beats_or_matches_random_on_skewed_traffic() {
+        let a = run(Scale::Quick);
+        let get = |label: &str| {
+            a.replacement
+                .iter()
+                .find(|p| p.label == label)
+                .expect("policy present")
+        };
+        let lru = get("lru");
+        let random = get("random");
+        assert!(
+            lru.oltp_miss_ratio <= random.oltp_miss_ratio + 0.01,
+            "LRU {:.4} worse than random {:.4} on Zipf-skewed OLTP",
+            lru.oltp_miss_ratio,
+            random.oltp_miss_ratio
+        );
+    }
+
+    #[test]
+    fn bigger_lines_help_scan_heavy_traffic() {
+        let a = run(Scale::Quick);
+        let first = a.line_size.first().unwrap();
+        let big = &a.line_size[2]; // 2 KB
+        assert!(
+            big.dss_miss_ratio < first.dss_miss_ratio,
+            "2KB lines ({:.4}) did not beat 128B ({:.4}) on sequential scans",
+            big.dss_miss_ratio,
+            first.dss_miss_ratio
+        );
+    }
+
+    #[test]
+    fn all_points_are_ratios() {
+        let a = run(Scale::Quick);
+        assert_eq!(a.replacement.len(), 4);
+        assert_eq!(a.line_size.len(), 4);
+        for p in a.replacement.iter().chain(a.line_size.iter()) {
+            assert!((0.0..=1.0).contains(&p.oltp_miss_ratio));
+            assert!((0.0..=1.0).contains(&p.dss_miss_ratio));
+        }
+    }
+}

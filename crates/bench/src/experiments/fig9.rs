@@ -1,0 +1,147 @@
+//! Figure 9: L3 miss ratio vs. processors per shared L3, short vs. long
+//! traces.
+//!
+//! Case Study 1's second finding: with *short* traces, adding processors
+//! to a shared L3 looks beneficial (they prefetch each other's cold
+//! lines), while *long* traces show the opposite — each processor's
+//! steady-state working set inflates the shared cache's aggregate
+//! footprint, so more sharers mean a higher miss ratio. Design decisions
+//! made from short traces pick exactly the wrong configuration.
+//!
+//! The 1-processor-per-L3 point needs eight L3s; like the real four-FPGA
+//! board, we emulate four of them and mark the remaining CPUs as remote
+//! members of the coherence domain.
+
+use memories::{BoardConfig, NodeSlot};
+use memories_bus::ProcId;
+use memories_console::report::Table;
+use memories_console::Experiment;
+use memories_workloads::{OltpConfig, OltpWorkload};
+
+use super::{scaled_cache, scaled_host, Scale};
+
+/// Miss ratio (averaged over the emulated nodes) per sharing degree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Display label.
+    pub label: String,
+    /// `(processors per L3, average miss ratio)`, ascending.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// The experiment result.
+#[derive(Clone, Debug)]
+pub struct Fig9 {
+    /// Short-trace curve.
+    pub short: Series,
+    /// Long-trace curve.
+    pub long: Series,
+}
+
+/// Builds the board for `procs_per_l3` sharers per 4 MB (scaled 64 MB)
+/// node.
+fn board_for(procs_per_l3: usize) -> BoardConfig {
+    let params = scaled_cache(4 << 20, 8, 128);
+    let all: Vec<ProcId> = (0..8).map(ProcId::new).collect();
+    let slots: Vec<NodeSlot> = match procs_per_l3 {
+        1 => (0..4)
+            .map(|i| NodeSlot::new(params, [all[i]]).with_remote_cpus(all[4..].iter().copied()))
+            .collect(),
+        2 => (0..4)
+            .map(|i| NodeSlot::new(params, all[2 * i..2 * i + 2].iter().copied()))
+            .collect(),
+        4 => (0..2)
+            .map(|i| NodeSlot::new(params, all[4 * i..4 * i + 4].iter().copied()))
+            .collect(),
+        8 => vec![NodeSlot::new(params, all.iter().copied())],
+        other => panic!("unsupported sharing degree {other}"),
+    };
+    BoardConfig::from_slots(slots).expect("figure 9 slots are valid")
+}
+
+fn measure(procs_per_l3: usize, refs: u64) -> f64 {
+    let exp = Experiment::new(scaled_host(256 << 10, 4), board_for(procs_per_l3)).unwrap();
+    let mut workload = OltpWorkload::new(OltpConfig {
+        journal: None,
+        ..OltpConfig::scaled_default()
+    });
+    let result = exp.run(&mut workload, refs);
+    // Average over nodes, weighted by references.
+    let (mut misses, mut refs_seen) = (0u64, 0u64);
+    for s in &result.node_stats {
+        misses += s.demand_misses();
+        refs_seen += s.demand_references();
+    }
+    if refs_seen == 0 {
+        0.0
+    } else {
+        misses as f64 / refs_seen as f64
+    }
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Fig9 {
+    let long_refs = scale.pick(400_000, 2_500_000);
+    let short_refs = scale.pick(25_000, 45_000);
+    let degrees = [1usize, 2, 4, 8];
+
+    let series = |label: String, refs: u64| Series {
+        label,
+        points: degrees.iter().map(|&d| (d, measure(d, refs))).collect(),
+    };
+    Fig9 {
+        short: series(format!("short ({short_refs} refs)"), short_refs),
+        long: series(format!("long ({long_refs} refs)"), long_refs),
+    }
+}
+
+impl Fig9 {
+    /// Renders the figure as a table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(["procs per L3", &self.short.label, &self.long.label])
+            .with_title("Figure 9. L3 miss ratio vs. degree of L3 sharing (64MB-scaled L3s)");
+        for (i, (d, short_mr)) in self.short.points.iter().enumerate() {
+            t.row([
+                d.to_string(),
+                format!("{short_mr:.4}"),
+                format!("{:.4}", self.long.points[i].1),
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_and_long_traces_disagree_on_the_trend() {
+        let f = run(Scale::Quick);
+        let short_first = f.short.points.first().unwrap().1;
+        let short_last = f.short.points.last().unwrap().1;
+        let long_first = f.long.points.first().unwrap().1;
+        let long_last = f.long.points.last().unwrap().1;
+        // Short trace: sharing looks good (8p <= 1p).
+        assert!(
+            short_last <= short_first * 1.02,
+            "short trace should favour sharing: 1p {short_first:.4} vs 8p {short_last:.4}"
+        );
+        // Long trace: sharing hurts (8p > 1p).
+        assert!(
+            long_last > long_first,
+            "long trace should punish sharing: 1p {long_first:.4} vs 8p {long_last:.4}"
+        );
+    }
+
+    #[test]
+    fn all_points_are_valid_ratios() {
+        let f = run(Scale::Quick);
+        for s in [&f.short, &f.long] {
+            assert_eq!(s.points.len(), 4);
+            for (_, mr) in &s.points {
+                assert!((0.0..=1.0).contains(mr));
+            }
+        }
+    }
+}

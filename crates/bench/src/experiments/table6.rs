@@ -1,0 +1,165 @@
+//! Table 6: miss rates (misses per 1000 instructions) for SPLASH2 at
+//! the SPLASH2-paper sizes vs. this paper's realistic sizes.
+//!
+//! The SPLASH2-paper points are *genuinely small* (64 K points, 16 K
+//! bodies, 512 molecules) and run directly against a real 1 MB 4-way L2.
+//! The realistic points are the paper's sizes scaled by 64x in both
+//! problem and cache (8 MB 2-way -> 128 KB 2-way). The reproduction
+//! target is the case study's conclusion: the two columns differ
+//! *substantially* — scalings calibrated at small sizes do not predict
+//! realistic-size behaviour.
+
+use memories_console::report::Table;
+use memories_workloads::splash::{Barnes, Fft, Fmm, Ocean, Water};
+use memories_workloads::Workload;
+
+use super::{run_host_only, scaled_host, Scale};
+
+/// One Table 6 row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Row {
+    /// Application name.
+    pub app: String,
+    /// Misses per 1000 instructions at the SPLASH2-paper size with a
+    /// 1 MB 4-way L2.
+    pub small_size_rate: f64,
+    /// Misses per 1000 instructions at the (scaled) realistic size with
+    /// the (scaled) 8 MB 2-way L2.
+    pub realistic_size_rate: f64,
+}
+
+/// The experiment result.
+#[derive(Clone, Debug)]
+pub struct Table6 {
+    /// One row per application, paper order.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Table6 {
+    let refs = scale.pick(200_000, 1_500_000);
+    struct Spec {
+        label: &'static str,
+        small: fn() -> Box<dyn Workload>,
+        realistic: fn() -> Box<dyn Workload>,
+    }
+    let specs = [
+        Spec {
+            label: "FMM",
+            small: || Box::new(Fmm::scaled(8, 16 << 10, 7)),
+            realistic: || Box::new(Fmm::scaled(8, 1 << 16, 7)),
+        },
+        Spec {
+            label: "FFT",
+            small: || Box::new(Fft::scaled(8, 16, 7)),
+            realistic: || Box::new(Fft::scaled(8, 22, 7)),
+        },
+        Spec {
+            label: "Ocean",
+            small: || Box::new(Ocean::scaled(8, 258, 7)),
+            realistic: || Box::new(Ocean::scaled(8, 1026, 7)),
+        },
+        Spec {
+            label: "Water",
+            small: || Box::new(Water::scaled(8, 512, 7)),
+            realistic: || Box::new(Water::scaled(8, 30_000, 7)),
+        },
+        Spec {
+            label: "Barnes",
+            small: || Box::new(Barnes::scaled(8, 16 << 10, 7)),
+            realistic: || Box::new(Barnes::scaled(8, 1 << 18, 7)),
+        },
+    ];
+
+    let rows = specs
+        .iter()
+        .map(|spec| {
+            // SPLASH2-paper point: real 1 MB 4-way L2.
+            let small = run_host_only(scaled_host(1 << 20, 4), &mut *(spec.small)(), refs);
+            // Realistic point: 8 MB 2-way scaled by the same 64x as the
+            // problem.
+            let realistic =
+                run_host_only(scaled_host(128 << 10, 2), &mut *(spec.realistic)(), refs);
+            Row {
+                app: spec.label.to_string(),
+                small_size_rate: small.miss_rate_per_kilo_instructions(),
+                realistic_size_rate: realistic.miss_rate_per_kilo_instructions(),
+            }
+        })
+        .collect();
+    Table6 { rows }
+}
+
+impl Table6 {
+    /// Renders the table with the paper's values alongside.
+    pub fn render(&self) -> String {
+        let paper = [
+            (0.33, 0.7),
+            (5.5, 0.3),
+            (3.7, 8.2),
+            (0.073, 0.2),
+            (0.11, 0.3),
+        ];
+        let mut t = Table::new([
+            "application",
+            "small size, 1MB 4-way (ours)",
+            "(paper)",
+            "realistic size, 8MB 2-way (ours)",
+            "(paper)",
+        ])
+        .with_title("Table 6. Miss rates (misses per 1000 instructions)");
+        for (i, r) in self.rows.iter().enumerate() {
+            t.row([
+                r.app.clone(),
+                format!("{:.2}", r.small_size_rate),
+                format!("{}", paper[i].0),
+                format!("{:.2}", r.realistic_size_rate),
+                format!("{}", paper[i].1),
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_differ_substantially_for_most_apps() {
+        // The case study's conclusion: scaled sizes mispredict realistic
+        // sizes. We require a >=25% relative difference for at least
+        // three of the five applications.
+        let t = run(Scale::Quick);
+        let differing = t
+            .rows
+            .iter()
+            .filter(|r| {
+                let hi = r.small_size_rate.max(r.realistic_size_rate);
+                let lo = r.small_size_rate.min(r.realistic_size_rate);
+                hi > 0.0 && (hi - lo) / hi > 0.25
+            })
+            .count();
+        assert!(
+            differing >= 3,
+            "only {differing} of 5 apps differ across size points"
+        );
+    }
+
+    #[test]
+    fn rates_are_finite_and_nonnegative() {
+        let t = run(Scale::Quick);
+        assert_eq!(t.rows.len(), 5);
+        for r in &t.rows {
+            assert!(r.small_size_rate.is_finite() && r.small_size_rate >= 0.0);
+            assert!(r.realistic_size_rate.is_finite() && r.realistic_size_rate >= 0.0);
+        }
+    }
+
+    #[test]
+    fn render_includes_paper_values() {
+        let text = run(Scale::Quick).render();
+        assert!(text.contains("5.5"));
+        assert!(text.contains("8.2"));
+    }
+}

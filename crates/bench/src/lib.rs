@@ -1,0 +1,30 @@
+//! The experiment harness: regenerates every table and figure of the
+//! MemorIES paper's evaluation.
+//!
+//! Each module under [`experiments`] reproduces one artifact:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`experiments::table1`] | Table 1 — simulated vs. actual cache sizes (survey) |
+//! | [`experiments::table2`] | Table 2 — supported emulation parameters |
+//! | [`experiments::table3`] | Table 3 — C simulator vs. MemorIES run time |
+//! | [`experiments::table4`] | Table 4 — Augmint vs. MemorIES run time (FFT) |
+//! | [`experiments::table5`] | Table 5 — SPLASH2 application characteristics |
+//! | [`experiments::table6`] | Table 6 — SPLASH2 miss rates, scaled vs. realistic |
+//! | [`experiments::fig8`] | Figure 8 — L3 miss ratio vs. trace length (TPC-C/TPC-H) |
+//! | [`experiments::fig9`] | Figure 9 — miss ratio vs. processors per L3 |
+//! | [`experiments::fig10`] | Figure 10 — TPC-C miss-ratio profile (journaling spikes) |
+//! | [`experiments::fig11`] | Figure 11 — L3 miss ratio vs. size, SPLASH2 |
+//! | [`experiments::fig12`] | Figure 12 — where an L2 miss is satisfied |
+//! | [`experiments::retries`] | §3.3 — retry behaviour vs. bus utilization |
+//!
+//! Experiments run at scaled-down sizes (documented in DESIGN.md §1 and
+//! EXPERIMENTS.md); pass [`Scale::Full`] for the recorded numbers or
+//! [`Scale::Quick`] for fast smoke runs used by the integration tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::Scale;

@@ -1,0 +1,81 @@
+//! Error types for bus and geometry construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid cache geometry was requested.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GeometryError {
+    /// Capacity, associativity, or line size was zero.
+    Zero,
+    /// The line size is not a power of two.
+    LineNotPowerOfTwo {
+        /// The offending line size in bytes.
+        line_size: u64,
+    },
+    /// The capacity is not divisible by `ways * line_size`.
+    CapacityNotDivisible {
+        /// Requested capacity in bytes.
+        capacity: u64,
+        /// Requested associativity.
+        ways: u32,
+        /// Requested line size in bytes.
+        line_size: u64,
+    },
+    /// The derived set count is not a power of two.
+    SetsNotPowerOfTwo {
+        /// The derived set count.
+        sets: u64,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::Zero => {
+                write!(f, "capacity, ways, and line size must all be nonzero")
+            }
+            GeometryError::LineNotPowerOfTwo { line_size } => {
+                write!(f, "line size {line_size} is not a power of two")
+            }
+            GeometryError::CapacityNotDivisible {
+                capacity,
+                ways,
+                line_size,
+            } => write!(
+                f,
+                "capacity {capacity} is not divisible by ways ({ways}) x line size ({line_size})"
+            ),
+            GeometryError::SetsNotPowerOfTwo { sets } => {
+                write!(f, "derived set count {sets} is not a power of two")
+            }
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let msgs = [
+            GeometryError::Zero.to_string(),
+            GeometryError::LineNotPowerOfTwo { line_size: 100 }.to_string(),
+            GeometryError::CapacityNotDivisible {
+                capacity: 10,
+                ways: 3,
+                line_size: 128,
+            }
+            .to_string(),
+            GeometryError::SetsNotPowerOfTwo { sets: 3 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! The interposer card: adapting foreign bus protocols.
+//!
+//! §3: the board "has the ability to plug directly into the 6xx bus of
+//! the host machine at a maximum speed of 100MHz, or connect to an
+//! interposer card to take measurements from systems with a different
+//! bus architecture, such as an Intel X86 platform. Different bus
+//! architecture measurements require protocol conversion on the
+//! interposer card ... or changing the command map file if the protocol
+//! is similar."
+//!
+//! [`ForeignOp`] is a P6-style front-side-bus command vocabulary, and
+//! [`Interposer`] converts foreign transactions into the 6xx vocabulary
+//! the board understands, using a configurable [`CommandMap`].
+
+use std::fmt;
+
+use crate::addr::{Address, ProcId};
+use crate::op::BusOp;
+use crate::transaction::{SnoopResponse, Transaction};
+
+/// A P6-style front-side-bus command (the "Intel X86 platform" case of
+/// §3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ForeignOp {
+    /// Bus Read Line: a cacheable line fetch.
+    BusReadLine,
+    /// Bus Read Invalidate Line: fetch with intent to modify.
+    BusReadInvalidateLine,
+    /// Bus Invalidate Line: upgrade an already-held line.
+    BusInvalidateLine,
+    /// Bus Write Line: explicit line writeback.
+    BusWriteLine,
+    /// Memory read by an I/O agent.
+    IoAgentRead,
+    /// Memory write by an I/O agent.
+    IoAgentWrite,
+    /// Non-memory special cycle (halt, shutdown, fence...).
+    SpecialCycle,
+}
+
+impl ForeignOp {
+    /// All foreign commands.
+    pub const ALL: [ForeignOp; 7] = [
+        ForeignOp::BusReadLine,
+        ForeignOp::BusReadInvalidateLine,
+        ForeignOp::BusInvalidateLine,
+        ForeignOp::BusWriteLine,
+        ForeignOp::IoAgentRead,
+        ForeignOp::IoAgentWrite,
+        ForeignOp::SpecialCycle,
+    ];
+
+    /// The mnemonic used in command map files.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            ForeignOp::BusReadLine => "brl",
+            ForeignOp::BusReadInvalidateLine => "bril",
+            ForeignOp::BusInvalidateLine => "bil",
+            ForeignOp::BusWriteLine => "bwl",
+            ForeignOp::IoAgentRead => "io-agent-r",
+            ForeignOp::IoAgentWrite => "io-agent-w",
+            ForeignOp::SpecialCycle => "special",
+        }
+    }
+
+    /// Parses a command map mnemonic.
+    pub fn from_mnemonic(s: &str) -> Option<ForeignOp> {
+        ForeignOp::ALL.iter().copied().find(|o| o.mnemonic() == s)
+    }
+
+    const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for ForeignOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// The command map: foreign command → 6xx bus operation (or dropped).
+///
+/// This is the "command map file" of §3: when the foreign protocol is
+/// similar enough, reprogramming the board reduces to editing this table.
+///
+/// # Examples
+///
+/// ```
+/// use memories_bus::interposer::{CommandMap, ForeignOp};
+/// use memories_bus::BusOp;
+///
+/// let map = CommandMap::p6_default();
+/// assert_eq!(map.translate(ForeignOp::BusReadLine), Some(BusOp::Read));
+/// assert_eq!(map.translate(ForeignOp::SpecialCycle), None);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommandMap {
+    entries: [Option<BusOp>; ForeignOp::ALL.len()],
+}
+
+impl CommandMap {
+    /// The default P6 front-side-bus mapping.
+    pub fn p6_default() -> Self {
+        let mut entries = [None; ForeignOp::ALL.len()];
+        entries[ForeignOp::BusReadLine.index()] = Some(BusOp::Read);
+        entries[ForeignOp::BusReadInvalidateLine.index()] = Some(BusOp::Rwitm);
+        entries[ForeignOp::BusInvalidateLine.index()] = Some(BusOp::DClaim);
+        entries[ForeignOp::BusWriteLine.index()] = Some(BusOp::WriteBack);
+        entries[ForeignOp::IoAgentRead.index()] = Some(BusOp::DmaRead);
+        entries[ForeignOp::IoAgentWrite.index()] = Some(BusOp::DmaWrite);
+        entries[ForeignOp::SpecialCycle.index()] = None;
+        CommandMap { entries }
+    }
+
+    /// An empty map (everything dropped).
+    pub fn empty() -> Self {
+        CommandMap {
+            entries: [None; ForeignOp::ALL.len()],
+        }
+    }
+
+    /// Overrides one mapping; `None` drops the command.
+    pub fn set(&mut self, foreign: ForeignOp, op: Option<BusOp>) -> &mut Self {
+        self.entries[foreign.index()] = op;
+        self
+    }
+
+    /// Translates a foreign command.
+    pub fn translate(&self, foreign: ForeignOp) -> Option<BusOp> {
+        self.entries[foreign.index()]
+    }
+
+    /// Parses a command map file: one `<foreign> <6xx-op | drop>` pair per
+    /// line, `#` comments. Unlisted commands are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns the 1-based line number and a description for the first
+    /// malformed line.
+    pub fn parse(text: &str) -> Result<Self, (usize, String)> {
+        let mut map = CommandMap::empty();
+        for (lineno, raw) in text.lines().enumerate() {
+            let lineno = lineno + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            let (Some(foreign), Some(target), None) = (words.next(), words.next(), words.next())
+            else {
+                return Err((
+                    lineno,
+                    format!("expected `<foreign> <op|drop>`, got {line:?}"),
+                ));
+            };
+            let foreign = ForeignOp::from_mnemonic(foreign)
+                .ok_or((lineno, format!("unknown foreign command {foreign:?}")))?;
+            let op = if target == "drop" {
+                None
+            } else {
+                Some(
+                    BusOp::from_mnemonic(target)
+                        .ok_or((lineno, format!("unknown 6xx op {target:?}")))?,
+                )
+            };
+            map.set(foreign, op);
+        }
+        Ok(map)
+    }
+
+    /// Renders the map back to file text (roundtrips through
+    /// [`CommandMap::parse`]).
+    pub fn to_file(&self) -> String {
+        let mut out = String::new();
+        for foreign in ForeignOp::ALL {
+            let target = self.translate(foreign).map_or("drop", |op| op.mnemonic());
+            out.push_str(foreign.mnemonic());
+            out.push(' ');
+            out.push_str(target);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Default for CommandMap {
+    fn default() -> Self {
+        CommandMap::p6_default()
+    }
+}
+
+/// The interposer card: converts foreign bus activity into board-ready
+/// [`Transaction`]s, keeping its own sequence numbering and drop counts.
+#[derive(Clone, Debug)]
+pub struct Interposer {
+    map: CommandMap,
+    next_seq: u64,
+    converted: u64,
+    dropped: u64,
+}
+
+impl Interposer {
+    /// Creates an interposer with the given command map.
+    pub fn new(map: CommandMap) -> Self {
+        Interposer {
+            map,
+            next_seq: 0,
+            converted: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Converts one foreign bus event; `None` means the command map drops
+    /// it (it never reaches the board).
+    pub fn convert(
+        &mut self,
+        cycle: u64,
+        proc: ProcId,
+        op: ForeignOp,
+        addr: Address,
+        resp: SnoopResponse,
+    ) -> Option<Transaction> {
+        match self.map.translate(op) {
+            Some(bus_op) => {
+                let txn = Transaction::new(self.next_seq, cycle, proc, bus_op, addr, resp);
+                self.next_seq += 1;
+                self.converted += 1;
+                Some(txn)
+            }
+            None => {
+                self.dropped += 1;
+                None
+            }
+        }
+    }
+
+    /// Commands converted so far.
+    pub fn converted(&self) -> u64 {
+        self.converted
+    }
+
+    /// Commands dropped by the map.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p6_default_covers_the_cacheable_commands() {
+        let m = CommandMap::p6_default();
+        assert_eq!(m.translate(ForeignOp::BusReadLine), Some(BusOp::Read));
+        assert_eq!(
+            m.translate(ForeignOp::BusReadInvalidateLine),
+            Some(BusOp::Rwitm)
+        );
+        assert_eq!(
+            m.translate(ForeignOp::BusInvalidateLine),
+            Some(BusOp::DClaim)
+        );
+        assert_eq!(m.translate(ForeignOp::BusWriteLine), Some(BusOp::WriteBack));
+        assert_eq!(m.translate(ForeignOp::IoAgentWrite), Some(BusOp::DmaWrite));
+        assert_eq!(m.translate(ForeignOp::SpecialCycle), None);
+    }
+
+    #[test]
+    fn map_file_roundtrip() {
+        let m = CommandMap::p6_default();
+        let text = m.to_file();
+        assert_eq!(CommandMap::parse(&text).unwrap(), m);
+    }
+
+    #[test]
+    fn parse_overrides_and_drops() {
+        let m =
+            CommandMap::parse("# custom map\nbrl read\nbril rwitm\nbwl drop  # ignore castouts\n")
+                .unwrap();
+        assert_eq!(m.translate(ForeignOp::BusReadLine), Some(BusOp::Read));
+        assert_eq!(m.translate(ForeignOp::BusWriteLine), None);
+        // Unlisted commands are dropped.
+        assert_eq!(m.translate(ForeignOp::IoAgentRead), None);
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let err = CommandMap::parse("brl read\nfrobnicate read\n").unwrap_err();
+        assert_eq!(err.0, 2);
+        assert!(err.1.contains("frobnicate"));
+
+        let err = CommandMap::parse("brl warp\n").unwrap_err();
+        assert_eq!(err.0, 1);
+
+        let err = CommandMap::parse("brl read extra\n").unwrap_err();
+        assert_eq!(err.0, 1);
+    }
+
+    #[test]
+    fn interposer_converts_and_counts() {
+        let mut i = Interposer::new(CommandMap::p6_default());
+        let t = i
+            .convert(
+                100,
+                ProcId::new(2),
+                ForeignOp::BusReadInvalidateLine,
+                Address::new(0x1000),
+                SnoopResponse::Null,
+            )
+            .unwrap();
+        assert_eq!(t.op, BusOp::Rwitm);
+        assert_eq!(t.seq, 0);
+        assert!(i
+            .convert(
+                101,
+                ProcId::new(2),
+                ForeignOp::SpecialCycle,
+                Address::new(0),
+                SnoopResponse::Null
+            )
+            .is_none());
+        let t2 = i
+            .convert(
+                102,
+                ProcId::new(3),
+                ForeignOp::BusReadLine,
+                Address::new(0x2000),
+                SnoopResponse::Null,
+            )
+            .unwrap();
+        assert_eq!(
+            t2.seq, 1,
+            "dropped commands must not consume sequence numbers"
+        );
+        assert_eq!(i.converted(), 2);
+        assert_eq!(i.dropped(), 1);
+    }
+}

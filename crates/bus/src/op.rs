@@ -1,0 +1,243 @@
+//! Bus operation vocabulary for the 6xx-style memory bus.
+
+use std::fmt;
+
+/// A transaction type observable on the host memory bus.
+///
+/// These mirror the 6xx bus commands relevant to cache emulation. The
+/// MemorIES address filter FPGA passes only the *memory* class of
+/// operations to the node controllers; register-space I/O, syncs, and
+/// interrupts are filtered out (§3.1 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BusOp {
+    /// Cacheable read (an L2 read miss fetching a shared/exclusive copy).
+    Read,
+    /// Read-with-intent-to-modify (an L2 write miss fetching an exclusive
+    /// copy, invalidating other cached copies).
+    Rwitm,
+    /// Ownership claim without data transfer (upgrade of a shared copy to
+    /// modified; invalidates other cached copies).
+    DClaim,
+    /// Write-back of a modified line evicted from an L2 (castout).
+    WriteBack,
+    /// Flush of a line to memory, e.g. for cache management instructions;
+    /// invalidates cached copies and writes data back.
+    Flush,
+    /// Memory read issued by the I/O bridge (inbound DMA read).
+    DmaRead,
+    /// Memory write issued by the I/O bridge (inbound DMA write).
+    DmaWrite,
+    /// Read of I/O register space (filtered by the address filter).
+    IoRead,
+    /// Write of I/O register space (filtered by the address filter).
+    IoWrite,
+    /// Memory-barrier style address-only operation (filtered).
+    Sync,
+    /// Interrupt delivery transaction (filtered).
+    Interrupt,
+}
+
+/// The coarse classification the address filter FPGA applies to an
+/// operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Cacheable memory traffic from processors: participates in emulation.
+    Memory,
+    /// Memory traffic from the I/O bridge: participates in emulation (the
+    /// paper measures the effect of I/O on hit ratio) but is attributable
+    /// to the I/O bridge rather than a CPU.
+    IoMemory,
+    /// Register-space and control traffic: filtered out before the node
+    /// controllers.
+    Control,
+}
+
+impl BusOp {
+    /// All operation kinds, in a stable order (useful for counter layouts).
+    pub const ALL: [BusOp; 11] = [
+        BusOp::Read,
+        BusOp::Rwitm,
+        BusOp::DClaim,
+        BusOp::WriteBack,
+        BusOp::Flush,
+        BusOp::DmaRead,
+        BusOp::DmaWrite,
+        BusOp::IoRead,
+        BusOp::IoWrite,
+        BusOp::Sync,
+        BusOp::Interrupt,
+    ];
+
+    /// The filter classification of this operation.
+    pub const fn class(self) -> OpClass {
+        match self {
+            BusOp::Read | BusOp::Rwitm | BusOp::DClaim | BusOp::WriteBack | BusOp::Flush => {
+                OpClass::Memory
+            }
+            BusOp::DmaRead | BusOp::DmaWrite => OpClass::IoMemory,
+            BusOp::IoRead | BusOp::IoWrite | BusOp::Sync | BusOp::Interrupt => OpClass::Control,
+        }
+    }
+
+    /// Whether the operation references cacheable memory (and therefore is
+    /// seen by the emulated cache directories).
+    pub const fn is_memory(self) -> bool {
+        matches!(self.class(), OpClass::Memory | OpClass::IoMemory)
+    }
+
+    /// Whether the operation semantically writes memory.
+    pub const fn is_store_class(self) -> bool {
+        matches!(
+            self,
+            BusOp::Rwitm
+                | BusOp::DClaim
+                | BusOp::WriteBack
+                | BusOp::Flush
+                | BusOp::DmaWrite
+                | BusOp::IoWrite
+        )
+    }
+
+    /// Whether the transaction carries a data tenure on the bus (affects
+    /// the cycle cost of the transaction).
+    pub const fn carries_data(self) -> bool {
+        matches!(
+            self,
+            BusOp::Read
+                | BusOp::Rwitm
+                | BusOp::WriteBack
+                | BusOp::Flush
+                | BusOp::DmaRead
+                | BusOp::DmaWrite
+        )
+    }
+
+    /// Whether this operation, snooped by a cache holding the line, should
+    /// invalidate that copy under an invalidation-based protocol.
+    pub const fn invalidates_others(self) -> bool {
+        matches!(
+            self,
+            BusOp::Rwitm | BusOp::DClaim | BusOp::Flush | BusOp::DmaWrite
+        )
+    }
+
+    /// A compact stable index for dense per-op tables.
+    pub const fn index(self) -> usize {
+        match self {
+            BusOp::Read => 0,
+            BusOp::Rwitm => 1,
+            BusOp::DClaim => 2,
+            BusOp::WriteBack => 3,
+            BusOp::Flush => 4,
+            BusOp::DmaRead => 5,
+            BusOp::DmaWrite => 6,
+            BusOp::IoRead => 7,
+            BusOp::IoWrite => 8,
+            BusOp::Sync => 9,
+            BusOp::Interrupt => 10,
+        }
+    }
+
+    /// The operation with the given [`BusOp::index`] value, if any.
+    pub fn from_index(index: usize) -> Option<BusOp> {
+        BusOp::ALL.get(index).copied()
+    }
+
+    /// The short mnemonic used in trace files and reports.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            BusOp::Read => "read",
+            BusOp::Rwitm => "rwitm",
+            BusOp::DClaim => "dclaim",
+            BusOp::WriteBack => "wb",
+            BusOp::Flush => "flush",
+            BusOp::DmaRead => "dma-r",
+            BusOp::DmaWrite => "dma-w",
+            BusOp::IoRead => "io-r",
+            BusOp::IoWrite => "io-w",
+            BusOp::Sync => "sync",
+            BusOp::Interrupt => "intr",
+        }
+    }
+
+    /// Parses a mnemonic produced by [`BusOp::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<BusOp> {
+        BusOp::ALL.iter().copied().find(|op| op.mnemonic() == s)
+    }
+}
+
+impl fmt::Display for BusOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_roundtrip() {
+        for (i, op) in BusOp::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i);
+            assert_eq!(BusOp::from_index(i), Some(*op));
+        }
+        assert_eq!(BusOp::from_index(BusOp::ALL.len()), None);
+    }
+
+    #[test]
+    fn mnemonics_roundtrip_and_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in BusOp::ALL {
+            assert!(
+                seen.insert(op.mnemonic()),
+                "duplicate mnemonic {}",
+                op.mnemonic()
+            );
+            assert_eq!(BusOp::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(BusOp::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn classification_matches_paper_filtering() {
+        // Memory ops reach the node controllers.
+        for op in [
+            BusOp::Read,
+            BusOp::Rwitm,
+            BusOp::DClaim,
+            BusOp::WriteBack,
+            BusOp::Flush,
+        ] {
+            assert_eq!(op.class(), OpClass::Memory);
+            assert!(op.is_memory());
+        }
+        // DMA affects the emulated caches but is I/O-attributable.
+        assert_eq!(BusOp::DmaRead.class(), OpClass::IoMemory);
+        assert!(BusOp::DmaWrite.is_memory());
+        // Control traffic is filtered.
+        for op in [BusOp::IoRead, BusOp::IoWrite, BusOp::Sync, BusOp::Interrupt] {
+            assert_eq!(op.class(), OpClass::Control);
+            assert!(!op.is_memory());
+        }
+    }
+
+    #[test]
+    fn store_class_and_data_tenure() {
+        assert!(BusOp::Rwitm.is_store_class());
+        assert!(BusOp::DClaim.is_store_class());
+        assert!(!BusOp::Read.is_store_class());
+        assert!(!BusOp::DClaim.carries_data());
+        assert!(BusOp::Read.carries_data());
+        assert!(BusOp::WriteBack.carries_data());
+    }
+
+    #[test]
+    fn invalidation_semantics() {
+        assert!(BusOp::Rwitm.invalidates_others());
+        assert!(BusOp::DClaim.invalidates_others());
+        assert!(BusOp::DmaWrite.invalidates_others());
+        assert!(!BusOp::Read.invalidates_others());
+        assert!(!BusOp::WriteBack.invalidates_others());
+    }
+}

@@ -1,0 +1,142 @@
+//! Bus-level statistics: cycle accounting and per-operation counts.
+
+use std::fmt;
+
+use crate::op::BusOp;
+use crate::transaction::SnoopResponse;
+
+/// Aggregate statistics kept by the [`SystemBus`](crate::SystemBus).
+///
+/// Utilization is the fraction of bus cycles occupied by transaction
+/// tenures; the paper reports 2–20 % for its database workloads (§3.3),
+/// which sized the board's 42 % SDRAM throughput target.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// Total bus cycles elapsed, including idle cycles.
+    pub cycles: u64,
+    /// Cycles occupied by transaction address/data tenures.
+    pub busy_cycles: u64,
+    /// Total transactions issued.
+    pub transactions: u64,
+    /// Transactions by operation kind, indexed by [`BusOp::index`].
+    pub by_op: [u64; BusOp::ALL.len()],
+    /// Transactions whose combined snoop response was `Shared`.
+    pub shared_interventions: u64,
+    /// Transactions whose combined snoop response was `Modified`.
+    pub modified_interventions: u64,
+    /// Transactions whose combined snoop response was `Retry`.
+    pub retries: u64,
+}
+
+impl BusStats {
+    /// Records a completed transaction occupying `cost` bus cycles.
+    pub(crate) fn record(&mut self, op: BusOp, resp: SnoopResponse, cost: u64) {
+        self.transactions += 1;
+        self.by_op[op.index()] += 1;
+        self.busy_cycles += cost;
+        self.cycles += cost;
+        match resp {
+            SnoopResponse::Shared => self.shared_interventions += 1,
+            SnoopResponse::Modified => self.modified_interventions += 1,
+            SnoopResponse::Retry => self.retries += 1,
+            SnoopResponse::Null => {}
+        }
+    }
+
+    /// Records idle bus cycles.
+    pub(crate) fn idle(&mut self, cycles: u64) {
+        self.cycles += cycles;
+    }
+
+    /// The count of transactions for one operation kind.
+    pub fn count(&self, op: BusOp) -> u64 {
+        self.by_op[op.index()]
+    }
+
+    /// Fraction of cycles occupied by transactions, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total memory-class transactions (the ones the board emulates).
+    pub fn memory_transactions(&self) -> u64 {
+        BusOp::ALL
+            .iter()
+            .filter(|op| op.is_memory())
+            .map(|op| self.count(*op))
+            .sum()
+    }
+}
+
+impl fmt::Display for BusStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "bus: {} txns in {} cycles ({:.2}% utilization)",
+            self.transactions,
+            self.cycles,
+            self.utilization() * 100.0
+        )?;
+        for op in BusOp::ALL {
+            let n = self.count(op);
+            if n > 0 {
+                writeln!(f, "  {:>8}: {}", op.mnemonic(), n)?;
+            }
+        }
+        write!(
+            f,
+            "  interventions: {} shared, {} modified; retries: {}",
+            self.shared_interventions, self.modified_interventions, self.retries
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_utilization() {
+        let mut s = BusStats::default();
+        s.record(BusOp::Read, SnoopResponse::Null, 12);
+        s.record(BusOp::Rwitm, SnoopResponse::Modified, 12);
+        s.idle(76);
+        assert_eq!(s.transactions, 2);
+        assert_eq!(s.count(BusOp::Read), 1);
+        assert_eq!(s.count(BusOp::Rwitm), 1);
+        assert_eq!(s.cycles, 100);
+        assert_eq!(s.busy_cycles, 24);
+        assert!((s.utilization() - 0.24).abs() < 1e-12);
+        assert_eq!(s.modified_interventions, 1);
+        assert_eq!(s.shared_interventions, 0);
+    }
+
+    #[test]
+    fn memory_transactions_excludes_control_traffic() {
+        let mut s = BusStats::default();
+        s.record(BusOp::Read, SnoopResponse::Null, 1);
+        s.record(BusOp::IoRead, SnoopResponse::Null, 1);
+        s.record(BusOp::Sync, SnoopResponse::Null, 1);
+        s.record(BusOp::DmaWrite, SnoopResponse::Null, 1);
+        assert_eq!(s.transactions, 4);
+        assert_eq!(s.memory_transactions(), 2);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_utilization() {
+        assert_eq!(BusStats::default().utilization(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_utilization() {
+        let mut s = BusStats::default();
+        s.record(BusOp::Read, SnoopResponse::Shared, 10);
+        let text = s.to_string();
+        assert!(text.contains("utilization"));
+        assert!(text.contains("read"));
+    }
+}

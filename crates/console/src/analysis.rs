@@ -1,0 +1,121 @@
+//! Profile analysis helpers: spike detection and period estimation.
+//!
+//! Case Study 2 (§5.2) found the OS journaling bug by eyeballing
+//! miss-ratio profiles for periodic spikes; these helpers do the same
+//! mechanically for the Figure 10 reproduction and for anyone profiling
+//! their own workloads.
+
+/// The median of a nonempty slice (by copy; input order preserved).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains a NaN.
+pub fn median(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "median of an empty series");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("series values must be comparable"));
+    v[v.len() / 2]
+}
+
+/// Detects spike windows: indices whose value clears the post-warmup
+/// median by at least `margin` (absolute). The first
+/// `warmup_fraction` of the series is excluded from both the baseline
+/// and the detection (cold-start transient).
+///
+/// # Examples
+///
+/// ```
+/// use memories_console::analysis::detect_spikes;
+///
+/// let series = [0.9, 0.4, 0.4, 0.4, 0.8, 0.4, 0.4, 0.8, 0.4];
+/// let spikes = detect_spikes(&series, 0.2, 0.05);
+/// assert_eq!(spikes, vec![4, 7]); // the cold-start 0.9 is excluded
+/// ```
+pub fn detect_spikes(series: &[f64], warmup_fraction: f64, margin: f64) -> Vec<usize> {
+    if series.is_empty() {
+        return Vec::new();
+    }
+    let warmup = ((series.len() as f64 * warmup_fraction) as usize).min(series.len() - 1);
+    let baseline = median(&series[warmup..]);
+    series
+        .iter()
+        .enumerate()
+        .skip(warmup)
+        .filter(|(_, v)| **v > baseline + margin)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Collapses runs of consecutive spike indices to their first window
+/// (bursts often straddle a window boundary).
+pub fn spike_onsets(spikes: &[usize]) -> Vec<usize> {
+    let mut onsets = Vec::new();
+    for (i, &s) in spikes.iter().enumerate() {
+        if i == 0 || spikes[i - 1] + 1 != s {
+            onsets.push(s);
+        }
+    }
+    onsets
+}
+
+/// Estimates the period (in windows) of recurring onsets: the mean gap,
+/// or `None` with fewer than two onsets. The relative spread of the gaps
+/// is returned alongside (0.0 = perfectly periodic).
+pub fn estimate_period(onsets: &[usize]) -> Option<(f64, f64)> {
+    if onsets.len() < 2 {
+        return None;
+    }
+    let gaps: Vec<f64> = onsets.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+    let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    let spread =
+        gaps.iter().map(|g| (g - mean).abs()).fold(0.0f64, f64::max) / mean.max(f64::MIN_POSITIVE);
+    Some((mean, spread))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_basics() {
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[1.0, 9.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn median_rejects_empty() {
+        let _ = median(&[]);
+    }
+
+    #[test]
+    fn spikes_exclude_warmup_and_plateau() {
+        // Index 0 is a cold-start artifact; 5 and 9 are real spikes.
+        let series = [0.95, 0.4, 0.42, 0.41, 0.4, 0.8, 0.4, 0.41, 0.4, 0.82];
+        let spikes = detect_spikes(&series, 0.1, 0.05);
+        assert_eq!(spikes, vec![5, 9]);
+    }
+
+    #[test]
+    fn empty_series_yields_no_spikes() {
+        assert!(detect_spikes(&[], 0.2, 0.05).is_empty());
+    }
+
+    #[test]
+    fn onsets_collapse_adjacent_windows() {
+        assert_eq!(spike_onsets(&[3, 4, 9, 10, 11, 20]), vec![3, 9, 20]);
+        assert_eq!(spike_onsets(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn period_estimation() {
+        assert_eq!(estimate_period(&[5]), None);
+        let (period, spread) = estimate_period(&[5, 15, 25, 35]).unwrap();
+        assert_eq!(period, 10.0);
+        assert_eq!(spread, 0.0);
+        let (period, spread) = estimate_period(&[5, 14, 25]).unwrap();
+        assert!((period - 10.0).abs() < 1e-9);
+        assert!(spread > 0.0 && spread < 0.2);
+    }
+}

@@ -1,0 +1,232 @@
+//! The board programming interface.
+
+use std::error::Error;
+use std::fmt;
+
+use memories::{BoardConfig, BoardError, CacheParams, MemoriesBoard, NodeSlot};
+use memories_bus::{NodeId, ProcId};
+use memories_protocol::{ProtocolParseError, ProtocolTable};
+
+/// Errors raised by console operations.
+#[derive(Debug)]
+pub enum ConsoleError {
+    /// The referenced node slot does not exist yet.
+    NoSuchNode {
+        /// The requested node.
+        node: NodeId,
+    },
+    /// A protocol map file failed to parse.
+    Protocol(ProtocolParseError),
+    /// Board construction failed.
+    Board(BoardError),
+}
+
+impl fmt::Display for ConsoleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsoleError::NoSuchNode { node } => write!(f, "{node} is not configured"),
+            ConsoleError::Protocol(e) => write!(f, "protocol map file rejected: {e}"),
+            ConsoleError::Board(e) => write!(f, "board configuration rejected: {e}"),
+        }
+    }
+}
+
+impl Error for ConsoleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ConsoleError::Protocol(e) => Some(e),
+            ConsoleError::Board(e) => Some(e),
+            ConsoleError::NoSuchNode { .. } => None,
+        }
+    }
+}
+
+impl From<ProtocolParseError> for ConsoleError {
+    fn from(e: ProtocolParseError) -> Self {
+        ConsoleError::Protocol(e)
+    }
+}
+
+impl From<BoardError> for ConsoleError {
+    fn from(e: BoardError) -> Self {
+        ConsoleError::Board(e)
+    }
+}
+
+/// The console's board-programming session: accumulate node slots, load
+/// protocol map files, then initialize the board — the software
+/// equivalent of the power-up + parameter-setting flow of §2.
+///
+/// # Examples
+///
+/// ```
+/// use memories::CacheParams;
+/// use memories_bus::ProcId;
+/// use memories_console::Console;
+/// use memories_protocol::standard;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let params = CacheParams::builder().capacity(2 << 20).build()?;
+/// let mut console = Console::new();
+/// console.add_node(params, (0..8).map(ProcId::new));
+/// console.load_protocol_text(memories_bus::NodeId::new(0), standard::MSI_MAP)?;
+/// let board = console.initialize()?;
+/// assert_eq!(board.node_count(), 1);
+/// assert_eq!(board.node(memories_bus::NodeId::new(0)).protocol().name(), "msi");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Console {
+    slots: Vec<NodeSlot>,
+}
+
+impl Console {
+    /// Starts an empty programming session.
+    pub fn new() -> Self {
+        Console::default()
+    }
+
+    /// Adds a node slot (MESI, domain 0 by default); returns its id.
+    pub fn add_node<I: IntoIterator<Item = ProcId>>(
+        &mut self,
+        params: CacheParams,
+        cpus: I,
+    ) -> NodeId {
+        let id = NodeId::new(self.slots.len().min(3) as u8);
+        self.slots.push(NodeSlot::new(params, cpus));
+        id
+    }
+
+    /// Number of configured slots.
+    pub fn node_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Replaces a node's cache parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConsoleError::NoSuchNode`] for an unknown slot.
+    pub fn set_params(&mut self, node: NodeId, params: CacheParams) -> Result<(), ConsoleError> {
+        let slot = self
+            .slots
+            .get_mut(node.index())
+            .ok_or(ConsoleError::NoSuchNode { node })?;
+        slot.params = params;
+        Ok(())
+    }
+
+    /// Loads a parsed protocol table into a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConsoleError::NoSuchNode`] for an unknown slot.
+    pub fn load_protocol(
+        &mut self,
+        node: NodeId,
+        protocol: ProtocolTable,
+    ) -> Result<(), ConsoleError> {
+        let slot = self
+            .slots
+            .get_mut(node.index())
+            .ok_or(ConsoleError::NoSuchNode { node })?;
+        slot.protocol = protocol;
+        Ok(())
+    }
+
+    /// Parses and loads a protocol map file into a node — "the table
+    /// lookup map file is loaded into each cache node controller FPGA
+    /// during the initialization phase" (§3.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error with line information, or
+    /// [`ConsoleError::NoSuchNode`].
+    pub fn load_protocol_text(&mut self, node: NodeId, text: &str) -> Result<(), ConsoleError> {
+        let table = ProtocolTable::parse_map_file(text)?;
+        self.load_protocol(node, table)
+    }
+
+    /// Places a node in a coherence domain (Figure 4 parallel configs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConsoleError::NoSuchNode`] for an unknown slot.
+    pub fn set_domain(&mut self, node: NodeId, domain: u8) -> Result<(), ConsoleError> {
+        let slot = self
+            .slots
+            .get_mut(node.index())
+            .ok_or(ConsoleError::NoSuchNode { node })?;
+        slot.domain = domain;
+        Ok(())
+    }
+
+    /// The accumulated board configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a board validation error for bad slot shapes.
+    pub fn board_config(&self) -> Result<BoardConfig, ConsoleError> {
+        Ok(BoardConfig::from_slots(self.slots.clone())?)
+    }
+
+    /// Power-up initialization: validates everything and builds the board.
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors for bad configurations.
+    pub fn initialize(&self) -> Result<MemoriesBoard, ConsoleError> {
+        Ok(MemoriesBoard::new(self.board_config()?)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memories_protocol::standard;
+
+    fn params() -> CacheParams {
+        CacheParams::builder().capacity(2 << 20).build().unwrap()
+    }
+
+    #[test]
+    fn programs_a_multi_node_board() {
+        let mut c = Console::new();
+        let n0 = c.add_node(params(), (0..4).map(ProcId::new));
+        let n1 = c.add_node(params(), (4..8).map(ProcId::new));
+        c.load_protocol(n1, standard::moesi()).unwrap();
+        let board = c.initialize().unwrap();
+        assert_eq!(board.node_count(), 2);
+        assert_eq!(board.node(n0).protocol().name(), "mesi");
+        assert_eq!(board.node(n1).protocol().name(), "moesi");
+    }
+
+    #[test]
+    fn rejects_unknown_nodes_and_bad_files() {
+        let mut c = Console::new();
+        assert!(matches!(
+            c.set_domain(NodeId::new(2), 1),
+            Err(ConsoleError::NoSuchNode { .. })
+        ));
+        c.add_node(params(), (0..8).map(ProcId::new));
+        let err = c.load_protocol_text(NodeId::new(0), "garbage").unwrap_err();
+        assert!(matches!(err, ConsoleError::Protocol(_)));
+    }
+
+    #[test]
+    fn empty_console_fails_initialization() {
+        let c = Console::new();
+        assert!(matches!(c.initialize(), Err(ConsoleError::Board(_))));
+    }
+
+    #[test]
+    fn set_params_takes_effect() {
+        let mut c = Console::new();
+        let n = c.add_node(params(), (0..8).map(ProcId::new));
+        let bigger = CacheParams::builder().capacity(8 << 20).build().unwrap();
+        c.set_params(n, bigger).unwrap();
+        let board = c.initialize().unwrap();
+        assert_eq!(board.node(n).params().capacity(), 8 << 20);
+    }
+}

@@ -1,0 +1,49 @@
+//! The console software: programming the board and running experiments.
+//!
+//! The real console is "an IBM PC running Windows 95/98, which provides a
+//! programming interface to the MemorIES board using an AMCC parallel
+//! port control card. The console software is used for power-up
+//! initialization of the MemorIES board, cache parameter setting, and
+//! statistics extraction" (§2). Here the console is a library:
+//!
+//! * [`Console`] — builds and initializes a board from parameter settings
+//!   and protocol map files, mirroring the power-up flow.
+//! * [`Experiment`] / [`ExperimentResult`] — wires a host machine, a
+//!   workload, and a board together; runs a given number of references;
+//!   extracts statistics (including windowed miss-ratio profiles for the
+//!   Figure 10 style plots).
+//! * [`report`] — ASCII table and CSV rendering for the `repro` harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use memories::{BoardConfig, CacheParams};
+//! use memories_bus::ProcId;
+//! use memories_console::Experiment;
+//! use memories_host::HostConfig;
+//! use memories_workloads::micro::UniformRandom;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let params = CacheParams::builder()
+//!     .capacity(1 << 20).allow_scaled_down().build()?;
+//! let board = BoardConfig::single_node(params, (0..2).map(ProcId::new))?;
+//! let host = HostConfig { num_cpus: 2, ..HostConfig::s7a() };
+//! let mut workload = UniformRandom::new(2, 8 << 20, 0.3, 1);
+//! let result = Experiment::new(host, board)?.run(&mut workload, 10_000);
+//! assert!(result.node_stats[0].demand_references() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod console;
+pub mod report;
+mod runner;
+mod shared;
+
+pub use console::{Console, ConsoleError};
+pub use runner::{replay_trace, Experiment, ExperimentError, ExperimentResult, ProfilePoint};
+pub use shared::Shared;

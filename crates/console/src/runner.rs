@@ -1,0 +1,368 @@
+//! The experiment runner: host machine + workload + board.
+
+use std::error::Error;
+use std::fmt;
+
+use memories::{BoardConfig, BoardError, MemoriesBoard, NodeStats};
+use memories_bus::{BusStats, NodeId};
+use memories_host::{AccessKind, ConfigError, HostConfig, HostMachine, MachineStats};
+use memories_workloads::{RefKind, Workload, WorkloadEvent};
+
+use crate::shared::Shared;
+
+/// Errors building an experiment.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// The host configuration is invalid.
+    Host(ConfigError),
+    /// The board configuration is invalid.
+    Board(BoardError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Host(e) => write!(f, "host configuration rejected: {e}"),
+            ExperimentError::Board(e) => write!(f, "board configuration rejected: {e}"),
+        }
+    }
+}
+
+impl Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExperimentError::Host(e) => Some(e),
+            ExperimentError::Board(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for ExperimentError {
+    fn from(e: ConfigError) -> Self {
+        ExperimentError::Host(e)
+    }
+}
+
+impl From<BoardError> for ExperimentError {
+    fn from(e: BoardError) -> Self {
+        ExperimentError::Board(e)
+    }
+}
+
+/// One point of a windowed miss-ratio profile (the Figure 10 series).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProfilePoint {
+    /// Number of workload references completed at this point.
+    pub end_ref: u64,
+    /// Bus cycle at this point.
+    pub bus_cycle: u64,
+    /// Per-node miss ratio *within this window* (not cumulative).
+    pub window_miss_ratio: Vec<f64>,
+}
+
+/// The outcome of an experiment run.
+#[derive(Debug)]
+pub struct ExperimentResult {
+    /// Per-node derived statistics, indexed by node id.
+    pub node_stats: Vec<NodeStats>,
+    /// Host machine counters.
+    pub machine: MachineStats,
+    /// Bus statistics (utilization, interventions, retries).
+    pub bus: BusStats,
+    /// Retries the board posted (zero in healthy runs — §3.3).
+    pub retries_posted: u64,
+    /// Windowed profile, when requested via
+    /// [`Experiment::run_profiled`]; empty otherwise.
+    pub profile: Vec<ProfilePoint>,
+    /// The board itself, for directory inspection and counter dumps.
+    pub board: MemoriesBoard,
+}
+
+/// A host machine with a MemorIES board attached, ready to run a
+/// workload — the standard harness behind every case-study
+/// reproduction.
+pub struct Experiment {
+    machine: HostMachine,
+    board: Shared<MemoriesBoard>,
+}
+
+impl Experiment {
+    /// Builds the host, builds the board, and attaches the board to the
+    /// host's bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError`] for invalid configurations.
+    pub fn new(host: HostConfig, board: BoardConfig) -> Result<Self, ExperimentError> {
+        let mut machine = HostMachine::new(host)?;
+        let board = Shared::new(MemoriesBoard::new(board)?);
+        machine.attach_listener(Box::new(board.handle()));
+        Ok(Experiment { machine, board })
+    }
+
+    /// Read access to the machine mid-run (tests).
+    pub fn machine(&self) -> &HostMachine {
+        &self.machine
+    }
+
+    /// Runs `f` with read access to the board mid-run.
+    pub fn with_board<R>(&self, f: impl FnOnce(&MemoriesBoard) -> R) -> R {
+        self.board.with(f)
+    }
+
+    /// Drives `refs` workload memory references through the machine and
+    /// returns the collected statistics.
+    pub fn run(self, workload: &mut dyn Workload, refs: u64) -> ExperimentResult {
+        self.run_profiled(workload, refs, 0)
+    }
+
+    /// Like [`Experiment::run`], additionally sampling a per-window miss
+    /// ratio every `window_refs` references (pass 0 for no profile).
+    pub fn run_profiled(
+        mut self,
+        workload: &mut dyn Workload,
+        refs: u64,
+        window_refs: u64,
+    ) -> ExperimentResult {
+        let node_count = self.board.with(|b| b.node_count());
+        let mut profile = Vec::new();
+        let mut prev: Vec<(u64, u64)> = vec![(0, 0); node_count];
+        let mut done: u64 = 0;
+        let mut next_sample = if window_refs > 0 {
+            window_refs
+        } else {
+            u64::MAX
+        };
+
+        while done < refs {
+            match workload.next_event() {
+                WorkloadEvent::Ref(r) => {
+                    let kind = match r.kind {
+                        RefKind::Load => AccessKind::Load,
+                        RefKind::Store => AccessKind::Store,
+                    };
+                    self.machine.access(r.cpu, kind, r.addr);
+                    done += 1;
+                    if done >= next_sample {
+                        next_sample += window_refs;
+                        let cycle = self.machine.bus().current_cycle();
+                        let mut ratios = Vec::with_capacity(node_count);
+                        self.board.with(|b| {
+                            for (i, slot) in prev.iter_mut().enumerate() {
+                                let s = b.node_stats(NodeId::new(i as u8));
+                                let (h, m) = (s.demand_hits(), s.demand_misses());
+                                let (dh, dm) = (h - slot.0, m - slot.1);
+                                *slot = (h, m);
+                                let total = dh + dm;
+                                ratios.push(if total == 0 {
+                                    0.0
+                                } else {
+                                    dm as f64 / total as f64
+                                });
+                            }
+                        });
+                        profile.push(ProfilePoint {
+                            end_ref: done,
+                            bus_cycle: cycle,
+                            window_miss_ratio: ratios,
+                        });
+                    }
+                }
+                WorkloadEvent::Instructions { cpu, count } => {
+                    self.machine.tick_instructions(cpu, count);
+                }
+                WorkloadEvent::Dma { write, addr } => {
+                    if write {
+                        self.machine.dma_write(addr);
+                    } else {
+                        self.machine.dma_read(addr);
+                    }
+                }
+            }
+        }
+
+        let machine_stats = self.machine.stats();
+        let bus = self.machine.bus().stats().clone();
+        // Drop the bus's handle so the board can be unwrapped.
+        drop(self.machine.detach_listeners());
+        let board = self
+            .board
+            .try_unwrap()
+            .expect("runner holds the last board handle after detaching listeners");
+        ExperimentResult {
+            node_stats: (0..node_count)
+                .map(|i| board.node_stats(NodeId::new(i as u8)))
+                .collect(),
+            machine: machine_stats,
+            bus,
+            retries_posted: board.retries_posted(),
+            profile,
+            board,
+        }
+    }
+}
+
+impl fmt::Debug for Experiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Experiment")
+            .field("machine", &self.machine)
+            .finish()
+    }
+}
+
+/// Replays a captured trace through a board offline — the paper's
+/// "mechanism to collect traces for finer and repeatable off-line
+/// analysis" (§1). Transactions are re-timed at the given cycle spacing
+/// (60 cycles ≈ 20% utilization with 12-cycle transactions).
+///
+/// Returns the number of records replayed.
+///
+/// # Errors
+///
+/// Propagates trace decoding errors.
+pub fn replay_trace<I, E>(
+    board: &mut MemoriesBoard,
+    records: I,
+    cycle_spacing: u64,
+) -> Result<u64, E>
+where
+    I: IntoIterator<Item = Result<memories_trace::TraceRecord, E>>,
+{
+    use memories_bus::BusListener as _;
+    let mut n = 0u64;
+    for rec in records {
+        let rec = rec?;
+        let txn = rec.to_transaction(n, n * cycle_spacing);
+        board.on_transaction(&txn);
+        n += 1;
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memories::CacheParams;
+    use memories_bus::ProcId;
+    use memories_workloads::micro::{Sequential, UniformRandom};
+
+    fn small_setup(board_capacity: u64) -> (HostConfig, BoardConfig) {
+        let params = CacheParams::builder()
+            .capacity(board_capacity)
+            .ways(2)
+            .allow_scaled_down()
+            .build()
+            .unwrap();
+        let board = BoardConfig::single_node(params, (0..2).map(ProcId::new)).unwrap();
+        let host = HostConfig {
+            num_cpus: 2,
+            inner_cache: None,
+            outer_cache: memories_bus::Geometry::new(64 << 10, 2, 128).unwrap(),
+            ..HostConfig::s7a()
+        };
+        (host, board)
+    }
+
+    #[test]
+    fn run_collects_consistent_statistics() {
+        let (host, board) = small_setup(1 << 20);
+        let mut w = UniformRandom::new(2, 16 << 20, 0.3, 5);
+        let result = Experiment::new(host, board).unwrap().run(&mut w, 20_000);
+        assert_eq!(
+            result.machine.total_loads() + result.machine.total_stores(),
+            20_000
+        );
+        // The board sees exactly the machine's L2 miss/upgrade traffic.
+        let demand = result.node_stats[0].demand_references();
+        let expected = result.machine.outer_misses() + result.machine.total().upgrades;
+        assert_eq!(demand, expected);
+        assert_eq!(result.retries_posted, 0);
+        assert!(result.bus.utilization() > 0.0);
+    }
+
+    #[test]
+    fn profile_windows_cover_the_run() {
+        let (host, board) = small_setup(1 << 20);
+        let mut w = UniformRandom::new(2, 16 << 20, 0.3, 6);
+        let result = Experiment::new(host, board)
+            .unwrap()
+            .run_profiled(&mut w, 10_000, 2_000);
+        assert_eq!(result.profile.len(), 5);
+        assert_eq!(result.profile.last().unwrap().end_ref, 10_000);
+        for p in &result.profile {
+            assert_eq!(p.window_miss_ratio.len(), 1);
+            assert!((0.0..=1.0).contains(&p.window_miss_ratio[0]));
+        }
+        // Bus cycles increase monotonically across windows.
+        for w in result.profile.windows(2) {
+            assert!(w[1].bus_cycle >= w[0].bus_cycle);
+        }
+    }
+
+    #[test]
+    fn replay_reproduces_a_live_run() {
+        use crate::shared::Shared;
+        use memories::{MemoriesBoard, TraceCapture};
+
+        // Live run with a capture listener alongside the board.
+        let (host, board_cfg) = small_setup(1 << 20);
+        let board = Shared::new(MemoriesBoard::new(board_cfg.clone()).unwrap());
+        let capture = Shared::new(TraceCapture::new(1 << 20));
+        let mut machine = memories_host::HostMachine::new(host).unwrap();
+        machine.attach_listener(Box::new(board.handle()));
+        machine.attach_listener(Box::new(capture.handle()));
+        let mut w = UniformRandom::new(2, 8 << 20, 0.3, 3);
+        use memories_workloads::{RefKind, Workload, WorkloadEvent};
+        let mut done = 0;
+        while done < 5_000 {
+            match w.next_event() {
+                WorkloadEvent::Ref(r) => {
+                    let kind = match r.kind {
+                        RefKind::Load => AccessKind::Load,
+                        RefKind::Store => AccessKind::Store,
+                    };
+                    machine.access(r.cpu, kind, r.addr);
+                    done += 1;
+                }
+                WorkloadEvent::Instructions { cpu, count } => machine.tick_instructions(cpu, count),
+                _ => {}
+            }
+        }
+        drop(machine.detach_listeners());
+
+        // Offline replay into a fresh board.
+        let mut fresh = MemoriesBoard::new(board_cfg).unwrap();
+        let records = capture.with(|c| c.records().to_vec());
+        let n: u64 = replay_trace(
+            &mut fresh,
+            records.into_iter().map(Ok::<_, std::convert::Infallible>),
+            60,
+        )
+        .unwrap();
+        assert!(n > 0);
+        board.with(|live| {
+            assert_eq!(
+                live.node(memories_bus::NodeId::new(0)).counters(),
+                fresh.node(memories_bus::NodeId::new(0)).counters(),
+                "offline replay diverged from the live run"
+            );
+        });
+    }
+
+    #[test]
+    fn sequential_workload_hits_after_warmup() {
+        let (host, board) = small_setup(1 << 20);
+        // Footprint 128 KB per cpu fits the 1 MB emulated cache: after the
+        // first lap everything hits (in the *emulated* cache; the host L2
+        // keeps missing since 64 KB < footprint).
+        let mut w = Sequential::new(2, 128 << 10, 128);
+        let result = Experiment::new(host, board).unwrap().run(&mut w, 8_000);
+        let stats = &result.node_stats[0];
+        assert!(stats.demand_references() > 2_000);
+        assert!(
+            stats.hit_ratio() > 0.4,
+            "emulated hit ratio {:.3} too low after warmup",
+            stats.hit_ratio()
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Shared-ownership adapter for bus listeners.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use memories_bus::{BusListener, ListenerReaction, Transaction};
+
+/// Wraps a listener in shared ownership so the experiment runner can keep
+/// a handle for statistics extraction while the bus drives the listener.
+///
+/// Single-threaded by design (the machine model is sequential), hence
+/// `Rc<RefCell>` rather than locks.
+#[derive(Debug)]
+pub struct Shared<L>(Rc<RefCell<L>>);
+
+impl<L> Shared<L> {
+    /// Wraps a listener.
+    pub fn new(listener: L) -> Self {
+        Shared(Rc::new(RefCell::new(listener)))
+    }
+
+    /// A second handle to the same listener.
+    pub fn handle(&self) -> Shared<L> {
+        Shared(Rc::clone(&self.0))
+    }
+
+    /// Runs `f` with shared access to the listener.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called re-entrantly from inside the listener itself.
+    pub fn with<R>(&self, f: impl FnOnce(&L) -> R) -> R {
+        f(&self.0.borrow())
+    }
+
+    /// Runs `f` with exclusive access to the listener.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called re-entrantly from inside the listener itself.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut L) -> R) -> R {
+        f(&mut self.0.borrow_mut())
+    }
+
+    /// Unwraps the listener if this is the last handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns `self` back if other handles still exist.
+    pub fn try_unwrap(self) -> Result<L, Shared<L>> {
+        Rc::try_unwrap(self.0)
+            .map(RefCell::into_inner)
+            .map_err(Shared)
+    }
+}
+
+impl<L: BusListener> BusListener for Shared<L> {
+    fn on_transaction(&mut self, txn: &Transaction) -> ListenerReaction {
+        self.0.borrow_mut().on_transaction(txn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memories_bus::{Address, BusOp, ProcId, SnoopResponse};
+
+    #[derive(Debug)]
+    struct Counter(u64);
+
+    impl BusListener for Counter {
+        fn on_transaction(&mut self, _t: &Transaction) -> ListenerReaction {
+            self.0 += 1;
+            ListenerReaction::Proceed
+        }
+    }
+
+    #[test]
+    fn handles_observe_the_same_listener() {
+        let shared = Shared::new(Counter(0));
+        let mut attached = shared.handle();
+        let txn = Transaction::new(
+            0,
+            0,
+            ProcId::new(0),
+            BusOp::Read,
+            Address::new(0),
+            SnoopResponse::Null,
+        );
+        attached.on_transaction(&txn);
+        attached.on_transaction(&txn);
+        assert_eq!(shared.with(|c| c.0), 2);
+        shared.with_mut(|c| c.0 = 9);
+        assert_eq!(shared.with(|c| c.0), 9);
+    }
+
+    #[test]
+    fn try_unwrap_requires_last_handle() {
+        let shared = Shared::new(Counter(1));
+        let extra = shared.handle();
+        let back = shared.try_unwrap().expect_err("second handle alive");
+        drop(extra);
+        let counter = back.try_unwrap().ok().expect("now unique");
+        assert_eq!(counter.0, 1);
+    }
+}

@@ -1,0 +1,656 @@
+//! The assembled MemorIES board.
+
+use std::fmt;
+
+use memories_bus::{BusListener, BusOp, ListenerReaction, NodeId, ProcId, Transaction};
+use memories_protocol::{standard, ProtocolTable, RemoteSummary};
+
+use crate::counters::Counter40;
+use crate::error::BoardError;
+use crate::filter::{AddressFilter, FilterConfig, NodePartition};
+use crate::node::NodeController;
+use crate::params::CacheParams;
+use crate::stats::NodeStats;
+use crate::timing::TimingConfig;
+
+/// Configuration of one emulated shared-cache node (one node-controller
+/// FPGA plus its SDRAM and protocol table).
+#[derive(Clone, Debug)]
+pub struct NodeSlot {
+    /// Cache parameters (Table 2).
+    pub params: CacheParams,
+    /// The coherence protocol loaded into this controller. Different
+    /// slots may carry different protocols (§3.2).
+    pub protocol: ProtocolTable,
+    /// Coherence domain: slots sharing a domain form one emulated target
+    /// machine; distinct domains are independent parallel experiments
+    /// (Figure 4).
+    pub domain: u8,
+    /// The host CPUs whose traffic is local to this node.
+    pub cpus: Vec<ProcId>,
+    /// Extra CPUs whose traffic is *remote* to this node's domain even
+    /// though no configured slot owns them — used when the emulated
+    /// target machine has more nodes than the board's four controllers.
+    pub remote_cpus: Vec<ProcId>,
+}
+
+impl NodeSlot {
+    /// Creates a slot with the MESI protocol in domain 0.
+    pub fn new<I: IntoIterator<Item = ProcId>>(params: CacheParams, cpus: I) -> Self {
+        NodeSlot {
+            params,
+            protocol: standard::mesi(),
+            domain: 0,
+            cpus: cpus.into_iter().collect(),
+            remote_cpus: Vec::new(),
+        }
+    }
+
+    /// Marks extra CPUs as remote members of this slot's domain.
+    #[must_use]
+    pub fn with_remote_cpus<I: IntoIterator<Item = ProcId>>(mut self, cpus: I) -> Self {
+        self.remote_cpus = cpus.into_iter().collect();
+        self
+    }
+
+    /// Replaces the protocol table.
+    #[must_use]
+    pub fn with_protocol(mut self, protocol: ProtocolTable) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Places the slot in a coherence domain.
+    #[must_use]
+    pub fn in_domain(mut self, domain: u8) -> Self {
+        self.domain = domain;
+        self
+    }
+}
+
+/// Full board configuration: up to four node slots plus filter and timing
+/// settings.
+#[derive(Clone, Debug)]
+pub struct BoardConfig {
+    /// The node slots, in node-id order.
+    pub slots: Vec<NodeSlot>,
+    /// Address filter settings.
+    pub filter: FilterConfig,
+    /// SDRAM/buffer timing settings.
+    pub timing: TimingConfig,
+    /// Whether a full node buffer posts a bus retry (the board's real
+    /// behaviour) or silently drops the event.
+    pub allow_retry: bool,
+}
+
+impl BoardConfig {
+    /// A single emulated node covering `cpus` (Figure 3's single-node L3
+    /// emulation), with MESI.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoardError`] if the slot is invalid.
+    pub fn single_node<I: IntoIterator<Item = ProcId>>(
+        params: CacheParams,
+        cpus: I,
+    ) -> Result<Self, BoardError> {
+        BoardConfig::from_slots(vec![NodeSlot::new(params, cpus)])
+    }
+
+    /// Multiple nodes of one target machine: `partitions[i]` lists the
+    /// CPUs local to node `i`; all nodes share `params`, MESI, domain 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoardError`] if the partitioning is invalid.
+    pub fn multi_node(
+        params: CacheParams,
+        partitions: Vec<Vec<ProcId>>,
+    ) -> Result<Self, BoardError> {
+        BoardConfig::from_slots(
+            partitions
+                .into_iter()
+                .map(|cpus| NodeSlot::new(params, cpus))
+                .collect(),
+        )
+    }
+
+    /// Parallel evaluation of several cache configurations over the *same*
+    /// CPUs (Figure 4): each configuration gets its own coherence domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoardError`] if there are more configurations than node
+    /// controllers.
+    pub fn parallel_configs(
+        configs: Vec<CacheParams>,
+        cpus: Vec<ProcId>,
+    ) -> Result<Self, BoardError> {
+        BoardConfig::from_slots(
+            configs
+                .into_iter()
+                .enumerate()
+                .map(|(i, params)| NodeSlot::new(params, cpus.clone()).in_domain(i as u8))
+                .collect(),
+        )
+    }
+
+    /// Builds a configuration from explicit slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoardError::TooManyNodes`] / [`BoardError::NoNodes`] for
+    /// a bad slot count (per-slot validation happens at board build).
+    pub fn from_slots(slots: Vec<NodeSlot>) -> Result<Self, BoardError> {
+        if slots.is_empty() {
+            return Err(BoardError::NoNodes);
+        }
+        if slots.len() > NodeId::MAX_NODES {
+            return Err(BoardError::TooManyNodes {
+                requested: slots.len(),
+            });
+        }
+        Ok(BoardConfig {
+            slots,
+            filter: FilterConfig::default(),
+            timing: TimingConfig::default(),
+            allow_retry: true,
+        })
+    }
+}
+
+/// The global events counter FPGA: bus-level counters and run span.
+#[derive(Clone, Debug, Default)]
+pub struct GlobalCounters {
+    transactions: Counter40,
+    by_op: [Counter40; BusOp::ALL.len()],
+    first_cycle: Option<u64>,
+    last_cycle: u64,
+}
+
+impl GlobalCounters {
+    /// Records one raw bus transaction.
+    fn observe(&mut self, txn: &Transaction) {
+        self.transactions.incr();
+        self.by_op[txn.op.index()].incr();
+        if self.first_cycle.is_none() {
+            self.first_cycle = Some(txn.cycle);
+        }
+        self.last_cycle = self.last_cycle.max(txn.cycle);
+    }
+
+    /// Total transactions observed (before filtering).
+    pub fn transactions(&self) -> u64 {
+        self.transactions.value()
+    }
+
+    /// Transactions of one kind.
+    pub fn count(&self, op: BusOp) -> u64 {
+        self.by_op[op.index()].value()
+    }
+
+    /// Bus cycles between the first and last observed transaction.
+    pub fn observed_span_cycles(&self) -> u64 {
+        self.last_cycle - self.first_cycle.unwrap_or(self.last_cycle)
+    }
+
+    /// Zeroes everything.
+    pub fn reset(&mut self) {
+        *self = GlobalCounters::default();
+    }
+}
+
+/// The MemorIES board: address filter, global event counters, and up to
+/// four lock-stepped node controllers.
+///
+/// The board is a [`BusListener`]: attach it to a host machine's bus and
+/// it passively emulates its configured caches over the live transaction
+/// stream. Its only possible effect on the host is the buffer-overflow
+/// retry (§3.3/§3.4), surfaced as [`ListenerReaction::Retry`] and counted.
+///
+/// Lock-step semantics (§3.1): for each admitted transaction, all remote
+/// summaries are computed from the *pre-transaction* directory states,
+/// then every node controller applies its transition — matching the
+/// hardware, where the four FPGAs run in lock step.
+pub struct MemoriesBoard {
+    filter: AddressFilter,
+    global: GlobalCounters,
+    nodes: Vec<NodeController>,
+    allow_retry: bool,
+    retries_posted: u64,
+}
+
+impl MemoriesBoard {
+    /// Builds a board from its configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoardError`] for invalid slot shapes or parameters.
+    pub fn new(config: BoardConfig) -> Result<Self, BoardError> {
+        let mut partition = NodePartition::new(
+            config
+                .slots
+                .iter()
+                .map(|s| (s.domain, s.cpus.iter().copied())),
+        )?;
+        for slot in &config.slots {
+            if !slot.remote_cpus.is_empty() {
+                partition.add_domain_remotes(slot.domain, slot.remote_cpus.iter().copied());
+            }
+        }
+        let nodes = config
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                NodeController::with_timing(
+                    NodeId::new(i as u8),
+                    slot.params,
+                    slot.protocol.clone(),
+                    &config.timing,
+                )
+            })
+            .collect();
+        Ok(MemoriesBoard {
+            filter: AddressFilter::new(config.filter, partition),
+            global: GlobalCounters::default(),
+            nodes,
+            allow_retry: config.allow_retry,
+            retries_posted: 0,
+        })
+    }
+
+    /// The address filter (partition and filter statistics).
+    pub fn filter(&self) -> &AddressFilter {
+        &self.filter
+    }
+
+    /// The global event counters.
+    pub fn global(&self) -> &GlobalCounters {
+        &self.global
+    }
+
+    /// Number of configured nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// One node controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a configured node.
+    pub fn node(&self, id: NodeId) -> &NodeController {
+        &self.nodes[id.index()]
+    }
+
+    /// Iterates over the node controllers.
+    pub fn nodes(&self) -> impl Iterator<Item = &NodeController> {
+        self.nodes.iter()
+    }
+
+    /// Derived statistics of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a configured node.
+    pub fn node_stats(&self, id: NodeId) -> NodeStats {
+        self.nodes[id.index()].stats()
+    }
+
+    /// Retries the board posted on the bus (should stay zero in healthy
+    /// runs — §3.3).
+    pub fn retries_posted(&self) -> u64 {
+        self.retries_posted
+    }
+
+    /// Renders a full statistics report — the console software's
+    /// statistics-extraction dump: global transaction counts, filter
+    /// activity, and every node's derived statistics and raw counters.
+    pub fn statistics_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "board: {} bus transactions observed over {} cycles, {} retries posted",
+            self.global.transactions(),
+            self.global.observed_span_cycles(),
+            self.retries_posted
+        )
+        .expect("writing to String cannot fail");
+        writeln!(out, "{}", self.filter.stats()).expect("infallible");
+        for node in &self.nodes {
+            let stats = node.stats();
+            writeln!(
+                out,
+                "\n{} [{} | {}]: {}",
+                node.id(),
+                node.params(),
+                node.protocol().name(),
+                stats
+            )
+            .expect("infallible");
+            write!(out, "{}", stats.counters()).expect("infallible");
+        }
+        out
+    }
+
+    /// Clears all statistics (global, filter, and node counters) while
+    /// preserving emulated cache contents — the console's
+    /// statistics-extraction reset.
+    pub fn reset_statistics(&mut self) {
+        self.global.reset();
+        self.filter.reset_stats();
+        for n in &mut self.nodes {
+            n.reset_counters();
+        }
+        self.retries_posted = 0;
+    }
+
+    fn observe(&mut self, txn: &Transaction) -> ListenerReaction {
+        self.global.observe(txn);
+        if !self.filter.admit(txn) {
+            return ListenerReaction::Proceed;
+        }
+
+        // Lock step, phase 1: classify and snapshot remote summaries from
+        // pre-transaction directory state.
+        let mut work: Vec<(usize, memories_protocol::AccessEvent, RemoteSummary)> =
+            Vec::with_capacity(self.nodes.len());
+        for (i, _) in self.nodes.iter().enumerate() {
+            let id = NodeId::new(i as u8);
+            let Some(event) = self.filter.event_for(id, txn) else {
+                continue;
+            };
+            let my_domain = self.filter.partition().domain(id);
+            let mut remote = RemoteSummary::None;
+            for (j, other) in self.nodes.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                if self.filter.partition().domain(NodeId::new(j as u8)) != my_domain {
+                    continue;
+                }
+                remote = remote.max(other.summarize(txn.addr));
+            }
+            work.push((i, event, remote));
+        }
+
+        // Phase 2: apply transitions.
+        let mut overflow = false;
+        for (i, event, remote) in work {
+            let outcome =
+                self.nodes[i].process_with_resp(event, txn.addr, txn.cycle, remote, txn.resp);
+            if !outcome.accepted {
+                overflow = true;
+            }
+        }
+
+        if overflow && self.allow_retry {
+            self.retries_posted += 1;
+            ListenerReaction::Retry
+        } else {
+            ListenerReaction::Proceed
+        }
+    }
+}
+
+impl BusListener for MemoriesBoard {
+    fn on_transaction(&mut self, txn: &Transaction) -> ListenerReaction {
+        self.observe(txn)
+    }
+}
+
+impl fmt::Debug for MemoriesBoard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemoriesBoard")
+            .field("nodes", &self.nodes)
+            .field("transactions", &self.global.transactions())
+            .field("retries_posted", &self.retries_posted)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::NodeCounter;
+    use memories_bus::{Address, SnoopResponse};
+    use memories_protocol::StateId;
+
+    fn params(capacity: u64) -> CacheParams {
+        CacheParams::builder()
+            .capacity(capacity)
+            .ways(2)
+            .line_size(128)
+            .allow_scaled_down()
+            .build()
+            .unwrap()
+    }
+
+    fn txn(seq: u64, proc: u8, op: BusOp, addr: u64) -> Transaction {
+        // Space transactions out in time so buffers drain.
+        Transaction::new(
+            seq,
+            seq * 60,
+            ProcId::new(proc),
+            op,
+            Address::new(addr),
+            SnoopResponse::Null,
+        )
+    }
+
+    #[test]
+    fn single_node_counts_demand_traffic() {
+        let cfg = BoardConfig::single_node(params(4096), (0..8).map(ProcId::new)).unwrap();
+        let mut b = MemoriesBoard::new(cfg).unwrap();
+        b.on_transaction(&txn(0, 0, BusOp::Read, 0x0));
+        b.on_transaction(&txn(1, 1, BusOp::Read, 0x0));
+        b.on_transaction(&txn(2, 2, BusOp::Rwitm, 0x1000));
+        let s = b.node_stats(NodeId::new(0));
+        assert_eq!(s.demand_references(), 3);
+        assert_eq!(s.demand_misses(), 2);
+        assert_eq!(s.demand_hits(), 1);
+        assert_eq!(b.global().transactions(), 3);
+    }
+
+    #[test]
+    fn control_traffic_never_reaches_nodes() {
+        let cfg = BoardConfig::single_node(params(4096), (0..8).map(ProcId::new)).unwrap();
+        let mut b = MemoriesBoard::new(cfg).unwrap();
+        b.on_transaction(&txn(0, 0, BusOp::Sync, 0x0));
+        b.on_transaction(&txn(1, 0, BusOp::IoWrite, 0x0));
+        b.on_transaction(&txn(2, 0, BusOp::Interrupt, 0x0));
+        assert_eq!(b.node_stats(NodeId::new(0)).demand_references(), 0);
+        assert_eq!(b.global().transactions(), 3);
+        assert_eq!(b.filter().stats().control_filtered, 3);
+    }
+
+    #[test]
+    fn multi_node_remote_traffic_invalidates() {
+        let cfg = BoardConfig::multi_node(
+            params(4096),
+            vec![
+                (0..4).map(ProcId::new).collect(),
+                (4..8).map(ProcId::new).collect(),
+            ],
+        )
+        .unwrap();
+        let mut b = MemoriesBoard::new(cfg).unwrap();
+        // CPU 0 (node 0) writes a line; CPU 4 (node 1) then writes it.
+        b.on_transaction(&txn(0, 0, BusOp::Rwitm, 0x2000));
+        assert!(!b
+            .node(NodeId::new(0))
+            .probe(Address::new(0x2000))
+            .is_invalid());
+        b.on_transaction(&txn(1, 4, BusOp::Rwitm, 0x2000));
+        assert!(b
+            .node(NodeId::new(0))
+            .probe(Address::new(0x2000))
+            .is_invalid());
+        assert!(!b
+            .node(NodeId::new(1))
+            .probe(Address::new(0x2000))
+            .is_invalid());
+        let n0 = b.node_stats(NodeId::new(0));
+        assert_eq!(n0.counters().get(NodeCounter::RemoteInvalidations), 1);
+        assert_eq!(n0.interventions_modified(), 1);
+    }
+
+    #[test]
+    fn remote_summary_feeds_fill_state() {
+        // With MESI, a read miss while another node holds the line shared
+        // must fill S, not E.
+        let cfg = BoardConfig::multi_node(
+            params(4096),
+            vec![
+                (0..4).map(ProcId::new).collect(),
+                (4..8).map(ProcId::new).collect(),
+            ],
+        )
+        .unwrap();
+        let mut b = MemoriesBoard::new(cfg).unwrap();
+        b.on_transaction(&txn(0, 0, BusOp::Read, 0x3000)); // node0: E
+        b.on_transaction(&txn(1, 4, BusOp::Read, 0x3000)); // node1 sees remote Shared
+        let n1 = b.node(NodeId::new(1));
+        let state = n1.probe(Address::new(0x3000));
+        assert_eq!(n1.protocol().state_name(state), "S");
+        // And node0 was downgraded by the remote read.
+        let n0 = b.node(NodeId::new(0));
+        assert_eq!(
+            n0.protocol().state_name(n0.probe(Address::new(0x3000))),
+            "S"
+        );
+    }
+
+    #[test]
+    fn parallel_configs_are_isolated() {
+        // Figure 4 mode: same CPUs, two cache sizes, independent domains.
+        let cfg = BoardConfig::parallel_configs(
+            vec![params(4096), params(8192)],
+            (0..8).map(ProcId::new).collect(),
+        )
+        .unwrap();
+        let mut b = MemoriesBoard::new(cfg).unwrap();
+        for i in 0..64u64 {
+            b.on_transaction(&txn(i, (i % 8) as u8, BusOp::Read, i * 128));
+        }
+        let s0 = b.node_stats(NodeId::new(0));
+        let s1 = b.node_stats(NodeId::new(1));
+        // Both nodes saw every reference as local demand traffic.
+        assert_eq!(s0.demand_references(), 64);
+        assert_eq!(s1.demand_references(), 64);
+        // No cross-domain interventions or invalidations.
+        assert_eq!(s0.counters().get(NodeCounter::RemoteReadsSeen), 0);
+        assert_eq!(s1.counters().get(NodeCounter::RemoteReadsSeen), 0);
+        // The bigger cache can only do better.
+        assert!(s1.demand_misses() <= s0.demand_misses());
+    }
+
+    #[test]
+    fn identical_parallel_configs_agree_exactly() {
+        let cfg = BoardConfig::parallel_configs(
+            vec![params(4096), params(4096)],
+            (0..8).map(ProcId::new).collect(),
+        )
+        .unwrap();
+        let mut b = MemoriesBoard::new(cfg).unwrap();
+        for i in 0..500u64 {
+            let op = match i % 3 {
+                0 => BusOp::Read,
+                1 => BusOp::Rwitm,
+                _ => BusOp::WriteBack,
+            };
+            b.on_transaction(&txn(i, (i % 8) as u8, op, (i * 7 % 64) * 128));
+        }
+        let s0 = b.node_stats(NodeId::new(0));
+        let s1 = b.node_stats(NodeId::new(1));
+        assert_eq!(s0.counters(), s1.counters());
+    }
+
+    #[test]
+    fn board_posts_retry_only_on_overflow() {
+        let mut cfg = BoardConfig::single_node(params(4096), (0..8).map(ProcId::new)).unwrap();
+        cfg.timing = TimingConfig {
+            buffer_capacity: 4,
+            ..TimingConfig::default()
+        };
+        let mut b = MemoriesBoard::new(cfg).unwrap();
+        // Back-to-back transactions in the same cycle overflow a 4-deep
+        // buffer.
+        let mut retried = false;
+        for i in 0..16u64 {
+            let t = Transaction::new(
+                i,
+                0,
+                ProcId::new(0),
+                BusOp::Read,
+                Address::new(i * 128),
+                SnoopResponse::Null,
+            );
+            if b.on_transaction(&t) == ListenerReaction::Retry {
+                retried = true;
+            }
+        }
+        assert!(retried);
+        assert!(b.retries_posted() > 0);
+    }
+
+    #[test]
+    fn board_never_retries_at_paper_utilization() {
+        let cfg = BoardConfig::single_node(params(65536), (0..8).map(ProcId::new)).unwrap();
+        let mut b = MemoriesBoard::new(cfg).unwrap();
+        // 20% utilization spacing (60 cycles between 12-cycle txns).
+        for i in 0..50_000u64 {
+            let t = txn(i, (i % 8) as u8, BusOp::Read, (i % 512) * 128);
+            assert_eq!(b.on_transaction(&t), ListenerReaction::Proceed);
+        }
+        assert_eq!(b.retries_posted(), 0);
+    }
+
+    #[test]
+    fn reset_statistics_preserves_directories() {
+        let cfg = BoardConfig::single_node(params(4096), (0..8).map(ProcId::new)).unwrap();
+        let mut b = MemoriesBoard::new(cfg).unwrap();
+        b.on_transaction(&txn(0, 0, BusOp::Read, 0x0));
+        b.reset_statistics();
+        assert_eq!(b.global().transactions(), 0);
+        assert_eq!(b.node_stats(NodeId::new(0)).demand_references(), 0);
+        assert_ne!(
+            b.node(NodeId::new(0)).probe(Address::new(0x0)),
+            StateId::INVALID
+        );
+    }
+
+    #[test]
+    fn statistics_report_covers_every_node() {
+        let cfg = BoardConfig::parallel_configs(
+            vec![params(4096), params(8192)],
+            (0..8).map(ProcId::new).collect(),
+        )
+        .unwrap();
+        let mut b = MemoriesBoard::new(cfg).unwrap();
+        b.on_transaction(&txn(0, 0, BusOp::Read, 0x0));
+        let report = b.statistics_report();
+        assert!(report.contains("node0"));
+        assert!(report.contains("node1"));
+        assert!(report.contains("mesi"));
+        assert!(report.contains("read-misses"));
+        assert!(report.contains("filter"));
+    }
+
+    #[test]
+    fn config_constructors_validate() {
+        assert!(matches!(
+            BoardConfig::from_slots(vec![]),
+            Err(BoardError::NoNodes)
+        ));
+        let five = (0..5)
+            .map(|_| NodeSlot::new(params(4096), [ProcId::new(0)]))
+            .collect();
+        assert!(matches!(
+            BoardConfig::from_slots(five),
+            Err(BoardError::TooManyNodes { requested: 5 })
+        ));
+    }
+}

@@ -1,0 +1,112 @@
+//! Board configuration errors.
+
+use std::error::Error;
+use std::fmt;
+
+use memories_bus::{NodeId, ProcId};
+
+use crate::params::{CacheParams, ParamError};
+
+/// An invalid board configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BoardError {
+    /// More node slots than the board's four controllers.
+    TooManyNodes {
+        /// Slots requested.
+        requested: usize,
+    },
+    /// A board needs at least one node slot.
+    NoNodes,
+    /// A CPU id is claimed as local by two nodes of the same coherence
+    /// domain.
+    OverlappingCpus {
+        /// The doubly-claimed CPU.
+        cpu: ProcId,
+        /// First claiming node.
+        first: NodeId,
+        /// Second claiming node.
+        second: NodeId,
+    },
+    /// A node slot has no local CPUs.
+    EmptyNode {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A node has more local CPUs than Table 2 allows.
+    TooManyCpusPerNode {
+        /// The offending node.
+        node: NodeId,
+        /// CPUs assigned.
+        cpus: usize,
+    },
+    /// Invalid cache parameters for a node slot.
+    Params(ParamError),
+}
+
+impl fmt::Display for BoardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoardError::TooManyNodes { requested } => write!(
+                f,
+                "{requested} node slots requested but the board has {} controllers",
+                NodeId::MAX_NODES
+            ),
+            BoardError::NoNodes => write!(f, "a board needs at least one node slot"),
+            BoardError::OverlappingCpus { cpu, first, second } => write!(
+                f,
+                "{cpu} is local to both {first} and {second} in the same coherence domain"
+            ),
+            BoardError::EmptyNode { node } => {
+                write!(f, "{node} has no local processors assigned")
+            }
+            BoardError::TooManyCpusPerNode { node, cpus } => write!(
+                f,
+                "{node} has {cpus} processors; the board supports at most {} per node",
+                CacheParams::MAX_PROCS_PER_NODE
+            ),
+            BoardError::Params(e) => write!(f, "invalid cache parameters: {e}"),
+        }
+    }
+}
+
+impl Error for BoardError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BoardError::Params(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParamError> for BoardError {
+    fn from(e: ParamError) -> Self {
+        BoardError::Params(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = BoardError::OverlappingCpus {
+            cpu: ProcId::new(3),
+            first: NodeId::new(0),
+            second: NodeId::new(1),
+        };
+        let m = e.to_string();
+        assert!(m.contains("cpu3"));
+        assert!(m.contains("node0"));
+        assert!(m.contains("node1"));
+        assert!(BoardError::NoNodes.to_string().contains("at least one"));
+    }
+
+    #[test]
+    fn param_errors_convert_and_chain() {
+        let pe = ParamError::BadAssociativity { ways: 9 };
+        let be: BoardError = pe.into();
+        assert!(be.source().is_some());
+        assert!(be.to_string().contains("associativity"));
+    }
+}

@@ -1,0 +1,323 @@
+//! Cache emulation parameters (Table 2 of the paper).
+
+use std::error::Error;
+use std::fmt;
+
+use memories_bus::{Geometry, GeometryError};
+
+use crate::replacement::ReplacementPolicy;
+
+/// Parameter ranges the board supports (Table 2):
+///
+/// | Feature | Range |
+/// |---|---|
+/// | Cache size | 2 MB – 8 GB |
+/// | Associativity | direct mapped – 8-way |
+/// | Processors per shared cache node | 1 – 8 |
+/// | Line size | 128 B – 16 KB |
+///
+/// Plus the replacement policy, which the paper lists among the
+/// programmable attributes. Use [`CacheParams::builder`]; validation
+/// happens at [`CacheParamsBuilder::build`].
+///
+/// Scaled-down experiments (this is a software model, not SDRAM) can opt
+/// out of the minimum-capacity bound with
+/// [`CacheParamsBuilder::allow_scaled_down`], which keeps every other
+/// bound intact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheParams {
+    geometry: Geometry,
+    replacement: ReplacementPolicy,
+}
+
+/// Table 2 bounds.
+impl CacheParams {
+    /// Minimum emulated capacity: 2 MB.
+    pub const MIN_CAPACITY: u64 = 2 << 20;
+    /// Maximum emulated capacity: 8 GB.
+    pub const MAX_CAPACITY: u64 = 8 << 30;
+    /// Maximum associativity: 8-way.
+    pub const MAX_WAYS: u32 = 8;
+    /// Minimum line size: 128 B.
+    pub const MIN_LINE: u64 = 128;
+    /// Maximum line size: 16 KB.
+    pub const MAX_LINE: u64 = 16 << 10;
+    /// Maximum processors per shared cache node.
+    pub const MAX_PROCS_PER_NODE: usize = 8;
+
+    /// Starts building a parameter set.
+    pub fn builder() -> CacheParamsBuilder {
+        CacheParamsBuilder::default()
+    }
+
+    /// The derived cache geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// The replacement policy.
+    pub fn replacement(&self) -> ReplacementPolicy {
+        self.replacement
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.geometry.capacity()
+    }
+}
+
+impl fmt::Display for CacheParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.geometry, self.replacement)
+    }
+}
+
+/// Builder for [`CacheParams`].
+///
+/// # Examples
+///
+/// ```
+/// use memories::{CacheParams, ReplacementPolicy};
+///
+/// # fn main() -> Result<(), memories::ParamError> {
+/// let params = CacheParams::builder()
+///     .capacity(64 << 20)
+///     .ways(8)
+///     .line_size(1 << 10)
+///     .replacement(ReplacementPolicy::Lru)
+///     .build()?;
+/// assert_eq!(params.capacity(), 64 << 20);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct CacheParamsBuilder {
+    capacity: u64,
+    ways: u32,
+    line_size: u64,
+    replacement: ReplacementPolicy,
+    allow_scaled_down: bool,
+}
+
+impl Default for CacheParamsBuilder {
+    fn default() -> Self {
+        CacheParamsBuilder {
+            capacity: 64 << 20,
+            ways: 4,
+            line_size: 128,
+            replacement: ReplacementPolicy::Lru,
+            allow_scaled_down: false,
+        }
+    }
+}
+
+impl CacheParamsBuilder {
+    /// Sets the emulated capacity in bytes (default 64 MB).
+    pub fn capacity(&mut self, bytes: u64) -> &mut Self {
+        self.capacity = bytes;
+        self
+    }
+
+    /// Sets the associativity (default 4-way).
+    pub fn ways(&mut self, ways: u32) -> &mut Self {
+        self.ways = ways;
+        self
+    }
+
+    /// Sets the line size in bytes (default 128 B).
+    pub fn line_size(&mut self, bytes: u64) -> &mut Self {
+        self.line_size = bytes;
+        self
+    }
+
+    /// Sets the replacement policy (default LRU).
+    pub fn replacement(&mut self, policy: ReplacementPolicy) -> &mut Self {
+        self.replacement = policy;
+        self
+    }
+
+    /// Permits capacities below the board's 2 MB minimum, for scaled-down
+    /// software experiments. All other Table 2 bounds still apply.
+    pub fn allow_scaled_down(&mut self) -> &mut Self {
+        self.allow_scaled_down = true;
+        self
+    }
+
+    /// Validates the parameters against Table 2 and builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] describing the first violated bound, or the
+    /// underlying [`GeometryError`] if the triple is not a valid
+    /// power-of-two geometry.
+    pub fn build(&self) -> Result<CacheParams, ParamError> {
+        if !self.allow_scaled_down && self.capacity < CacheParams::MIN_CAPACITY {
+            return Err(ParamError::CapacityTooSmall {
+                capacity: self.capacity,
+            });
+        }
+        if self.capacity > CacheParams::MAX_CAPACITY {
+            return Err(ParamError::CapacityTooLarge {
+                capacity: self.capacity,
+            });
+        }
+        if self.ways == 0 || self.ways > CacheParams::MAX_WAYS {
+            return Err(ParamError::BadAssociativity { ways: self.ways });
+        }
+        if self.line_size < CacheParams::MIN_LINE || self.line_size > CacheParams::MAX_LINE {
+            return Err(ParamError::BadLineSize {
+                line_size: self.line_size,
+            });
+        }
+        let geometry = Geometry::new(self.capacity, self.ways, self.line_size)
+            .map_err(ParamError::Geometry)?;
+        Ok(CacheParams {
+            geometry,
+            replacement: self.replacement,
+        })
+    }
+}
+
+/// A Table 2 bound was violated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParamError {
+    /// Below the 2 MB minimum (and scaled-down mode was not enabled).
+    CapacityTooSmall {
+        /// Requested capacity.
+        capacity: u64,
+    },
+    /// Above the 8 GB maximum.
+    CapacityTooLarge {
+        /// Requested capacity.
+        capacity: u64,
+    },
+    /// Associativity outside direct-mapped..8-way.
+    BadAssociativity {
+        /// Requested ways.
+        ways: u32,
+    },
+    /// Line size outside 128 B..16 KB.
+    BadLineSize {
+        /// Requested line size.
+        line_size: u64,
+    },
+    /// The triple is not a valid power-of-two geometry.
+    Geometry(GeometryError),
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::CapacityTooSmall { capacity } => {
+                write!(f, "capacity {capacity} below the board minimum of 2 MB")
+            }
+            ParamError::CapacityTooLarge { capacity } => {
+                write!(f, "capacity {capacity} above the board maximum of 8 GB")
+            }
+            ParamError::BadAssociativity { ways } => {
+                write!(f, "associativity {ways} outside direct-mapped..8-way")
+            }
+            ParamError::BadLineSize { line_size } => {
+                write!(f, "line size {line_size} outside 128 B..16 KB")
+            }
+            ParamError::Geometry(e) => write!(f, "invalid geometry: {e}"),
+        }
+    }
+}
+
+impl Error for ParamError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParamError::Geometry(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_table2_corner_cases() {
+        // Smallest: 2 MB direct-mapped 128 B.
+        CacheParams::builder()
+            .capacity(2 << 20)
+            .ways(1)
+            .line_size(128)
+            .build()
+            .unwrap();
+        // Largest: 8 GB 8-way 16 KB.
+        CacheParams::builder()
+            .capacity(8 << 30)
+            .ways(8)
+            .line_size(16 << 10)
+            .build()
+            .unwrap();
+    }
+
+    #[test]
+    fn rejects_out_of_range_parameters() {
+        assert!(matches!(
+            CacheParams::builder().capacity(1 << 20).build(),
+            Err(ParamError::CapacityTooSmall { .. })
+        ));
+        assert!(matches!(
+            CacheParams::builder().capacity(16 << 30).build(),
+            Err(ParamError::CapacityTooLarge { .. })
+        ));
+        assert!(matches!(
+            CacheParams::builder().ways(16).build(),
+            Err(ParamError::BadAssociativity { ways: 16 })
+        ));
+        assert!(matches!(
+            CacheParams::builder().ways(0).build(),
+            Err(ParamError::BadAssociativity { ways: 0 })
+        ));
+        assert!(matches!(
+            CacheParams::builder().line_size(64).build(),
+            Err(ParamError::BadLineSize { line_size: 64 })
+        ));
+        assert!(matches!(
+            CacheParams::builder().line_size(32 << 10).build(),
+            Err(ParamError::BadLineSize { .. })
+        ));
+    }
+
+    #[test]
+    fn scaled_down_mode_relaxes_only_min_capacity() {
+        let p = CacheParams::builder()
+            .capacity(64 << 10)
+            .ways(2)
+            .allow_scaled_down()
+            .build()
+            .unwrap();
+        assert_eq!(p.capacity(), 64 << 10);
+        // Other bounds still enforced.
+        assert!(CacheParams::builder()
+            .capacity(64 << 10)
+            .ways(16)
+            .allow_scaled_down()
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn geometry_errors_propagate() {
+        // 3 MB, 1-way, 128 B -> non-power-of-two set count.
+        let r = CacheParams::builder()
+            .capacity(3 << 20)
+            .ways(1)
+            .line_size(128)
+            .build();
+        assert!(matches!(r, Err(ParamError::Geometry(_))));
+    }
+
+    #[test]
+    fn display_shows_geometry_and_policy() {
+        let p = CacheParams::builder().capacity(64 << 20).build().unwrap();
+        let s = p.to_string();
+        assert!(s.contains("64MB"));
+        assert!(s.contains("lru"));
+    }
+}

@@ -1,0 +1,393 @@
+//! The emulated cache's tag/state/LRU tables — the board's SDRAM arrays.
+
+use std::fmt;
+
+use memories_bus::{Geometry, LineAddr};
+use memories_protocol::StateId;
+
+use crate::params::CacheParams;
+use crate::replacement::{plru_touch, plru_victim, ReplacementPolicy, XorShift};
+
+/// A line evicted from the tag store to make room for an allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// The evicted line address (in the store's own line geometry).
+    pub line: LineAddr,
+    /// The protocol state it held at eviction.
+    pub state: StateId,
+}
+
+/// The tag, state, and replacement-metadata tables of one emulated cache
+/// node — the structure the board keeps in four 64 MB SDRAM DIMMs per node
+/// controller (§3).
+///
+/// States are the *programmable* protocol's [`StateId`]s; state 0 means
+/// the entry is free. The store never interprets states beyond "state 0 is
+/// invalid"; dirtiness is the protocol table's business.
+///
+/// # Examples
+///
+/// ```
+/// use memories::{CacheParams, TagStore};
+/// use memories_protocol::StateId;
+///
+/// # fn main() -> Result<(), memories::ParamError> {
+/// let params = CacheParams::builder().capacity(2 << 20).build()?;
+/// let mut store = TagStore::new(&params);
+/// let line = store.geometry().line_addr(memories_bus::Address::new(0x1000));
+/// assert_eq!(store.state(line), StateId::INVALID);
+/// store.allocate(line, StateId::new(1));
+/// assert_eq!(store.state(line), StateId::new(1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct TagStore {
+    geom: Geometry,
+    policy: ReplacementPolicy,
+    tags: Vec<u64>,
+    states: Vec<StateId>,
+    stamps: Vec<u64>,
+    plru: Vec<u8>,
+    rng: XorShift,
+    tick: u64,
+    resident: u64,
+}
+
+impl TagStore {
+    /// Creates an empty tag store for the given parameters.
+    pub fn new(params: &CacheParams) -> Self {
+        let geom = *params.geometry();
+        let n = geom.lines() as usize;
+        let policy = params.replacement();
+        TagStore {
+            geom,
+            policy,
+            tags: vec![0; n],
+            states: vec![StateId::INVALID; n],
+            stamps: if matches!(policy, ReplacementPolicy::Lru | ReplacementPolicy::Fifo) {
+                vec![0; n]
+            } else {
+                Vec::new()
+            },
+            plru: if matches!(policy, ReplacementPolicy::PlruBits) {
+                vec![0; geom.sets()]
+            } else {
+                Vec::new()
+            },
+            rng: XorShift(0x9E37_79B9_7F4A_7C15),
+            tick: 0,
+            resident: 0,
+        }
+    }
+
+    /// The store's line geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geom
+    }
+
+    /// The replacement policy in use.
+    pub fn policy(&self) -> ReplacementPolicy {
+        self.policy
+    }
+
+    /// Number of allocated (non-invalid) entries.
+    pub fn resident_lines(&self) -> u64 {
+        self.resident
+    }
+
+    fn way_range(&self, set: usize) -> std::ops::Range<usize> {
+        let ways = self.geom.ways() as usize;
+        set * ways..(set + 1) * ways
+    }
+
+    fn find(&self, line: LineAddr) -> Option<usize> {
+        let set = self.geom.set_index(line);
+        let tag = self.geom.tag(line);
+        self.way_range(set)
+            .find(|&i| !self.states[i].is_invalid() && self.tags[i] == tag)
+    }
+
+    /// The protocol state of `line` ([`StateId::INVALID`] if absent).
+    pub fn state(&self, line: LineAddr) -> StateId {
+        self.find(line).map_or(StateId::INVALID, |i| self.states[i])
+    }
+
+    /// Whether `line` has an entry.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.find(line).is_some()
+    }
+
+    /// Records a use of `line` for the replacement policy (LRU timestamp /
+    /// PLRU bit; no effect under FIFO or random). Returns whether the line
+    /// was resident.
+    pub fn touch(&mut self, line: LineAddr) -> bool {
+        let Some(i) = self.find(line) else {
+            return false;
+        };
+        match self.policy {
+            ReplacementPolicy::Lru => {
+                self.tick += 1;
+                self.stamps[i] = self.tick;
+            }
+            ReplacementPolicy::PlruBits => {
+                let set = self.geom.set_index(line);
+                let way = (i - set * self.geom.ways() as usize) as u32;
+                self.plru[set] = plru_touch(self.plru[set], way, self.geom.ways());
+            }
+            ReplacementPolicy::Fifo | ReplacementPolicy::Random => {}
+        }
+        true
+    }
+
+    /// Sets the state of a resident line (no-op when absent); returns the
+    /// previous state if resident. A transition back to state 0 frees the
+    /// entry.
+    pub fn set_state(&mut self, line: LineAddr, state: StateId) -> Option<StateId> {
+        let i = self.find(line)?;
+        let old = self.states[i];
+        self.states[i] = state;
+        if state.is_invalid() {
+            self.resident -= 1;
+        }
+        Some(old)
+    }
+
+    /// Allocates an entry for `line` in `state`, evicting per the
+    /// replacement policy if the set is full. Returns the victim, if any.
+    ///
+    /// If the line is already resident, only its state is updated.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `state` is the invalid state.
+    pub fn allocate(&mut self, line: LineAddr, state: StateId) -> Option<EvictedLine> {
+        debug_assert!(
+            !state.is_invalid(),
+            "cannot allocate into the invalid state"
+        );
+        if let Some(i) = self.find(line) {
+            self.states[i] = state;
+            self.touch(line);
+            return None;
+        }
+        let set = self.geom.set_index(line);
+        let ways = self.geom.ways();
+
+        // Prefer a free way.
+        let free = self.way_range(set).find(|&i| self.states[i].is_invalid());
+        let (idx, victim) = match free {
+            Some(i) => {
+                self.resident += 1;
+                (i, None)
+            }
+            None => {
+                let way = match self.policy {
+                    ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
+                        let base = set * ways as usize;
+                        let mut oldest_way = 0u32;
+                        let mut oldest = u64::MAX;
+                        for w in 0..ways {
+                            let s = self.stamps[base + w as usize];
+                            if s < oldest {
+                                oldest = s;
+                                oldest_way = w;
+                            }
+                        }
+                        oldest_way
+                    }
+                    ReplacementPolicy::Random => (self.rng.next() % u64::from(ways)) as u32,
+                    ReplacementPolicy::PlruBits => plru_victim(self.plru[set], ways),
+                };
+                let i = set * ways as usize + way as usize;
+                let victim = EvictedLine {
+                    line: self.geom.line_from_parts(self.tags[i], set),
+                    state: self.states[i],
+                };
+                (i, Some(victim))
+            }
+        };
+
+        self.tags[idx] = self.geom.tag(line);
+        self.states[idx] = state;
+        match self.policy {
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
+                self.tick += 1;
+                self.stamps[idx] = self.tick;
+            }
+            ReplacementPolicy::PlruBits => {
+                let way = (idx - set * ways as usize) as u32;
+                self.plru[set] = plru_touch(self.plru[set], way, ways);
+            }
+            ReplacementPolicy::Random => {}
+        }
+        victim
+    }
+
+    /// Frees the entry of `line`, returning its old state
+    /// ([`StateId::INVALID`] if it was absent).
+    pub fn invalidate(&mut self, line: LineAddr) -> StateId {
+        match self.find(line) {
+            Some(i) => {
+                let old = self.states[i];
+                self.states[i] = StateId::INVALID;
+                self.resident -= 1;
+                old
+            }
+            None => StateId::INVALID,
+        }
+    }
+
+    /// Iterates over `(line, state)` for every resident entry (tests and
+    /// statistics extraction).
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, StateId)> + '_ {
+        let ways = self.geom.ways() as usize;
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_invalid())
+            .map(move |(i, s)| (self.geom.line_from_parts(self.tags[i], i / ways), *s))
+    }
+}
+
+impl fmt::Debug for TagStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TagStore")
+            .field("geometry", &self.geom.to_string())
+            .field("policy", &self.policy)
+            .field("resident", &self.resident)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memories_bus::Address;
+
+    fn store(ways: u32, policy: ReplacementPolicy) -> TagStore {
+        // 2 sets x `ways` x 128 B.
+        let params = CacheParams::builder()
+            .capacity(u64::from(ways) * 2 * 128)
+            .ways(ways)
+            .line_size(128)
+            .replacement(policy)
+            .allow_scaled_down()
+            .build()
+            .unwrap();
+        TagStore::new(&params)
+    }
+
+    /// Line n of set 0 (with 2 sets, even line numbers hit set 0).
+    fn l(store: &TagStore, n: u64) -> LineAddr {
+        store.geometry().line_addr(Address::new(n * 2 * 128))
+    }
+
+    #[test]
+    fn allocate_lookup_invalidate() {
+        let mut t = store(2, ReplacementPolicy::Lru);
+        let a = l(&t, 0);
+        assert!(t.allocate(a, StateId::new(2)).is_none());
+        assert_eq!(t.state(a), StateId::new(2));
+        assert_eq!(t.resident_lines(), 1);
+        assert_eq!(t.invalidate(a), StateId::new(2));
+        assert_eq!(t.state(a), StateId::INVALID);
+        assert_eq!(t.resident_lines(), 0);
+        assert_eq!(t.invalidate(a), StateId::INVALID);
+    }
+
+    #[test]
+    fn set_state_to_invalid_frees_entry() {
+        let mut t = store(2, ReplacementPolicy::Lru);
+        let a = l(&t, 0);
+        t.allocate(a, StateId::new(1));
+        assert_eq!(t.set_state(a, StateId::INVALID), Some(StateId::new(1)));
+        assert_eq!(t.resident_lines(), 0);
+        assert!(!t.contains(a));
+        assert_eq!(t.set_state(a, StateId::new(3)), None);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_touched() {
+        let mut t = store(2, ReplacementPolicy::Lru);
+        let (a, b, c) = (l(&t, 0), l(&t, 1), l(&t, 2));
+        t.allocate(a, StateId::new(1));
+        t.allocate(b, StateId::new(1));
+        t.touch(a);
+        let v = t.allocate(c, StateId::new(1)).unwrap();
+        assert_eq!(v.line, b);
+        assert_eq!(v.state, StateId::new(1));
+    }
+
+    #[test]
+    fn fifo_ignores_touches() {
+        let mut t = store(2, ReplacementPolicy::Fifo);
+        let (a, b, c) = (l(&t, 0), l(&t, 1), l(&t, 2));
+        t.allocate(a, StateId::new(1));
+        t.allocate(b, StateId::new(1));
+        t.touch(a); // should not save `a` under FIFO
+        let v = t.allocate(c, StateId::new(1)).unwrap();
+        assert_eq!(v.line, a);
+    }
+
+    #[test]
+    fn plru_avoids_most_recent() {
+        let mut t = store(4, ReplacementPolicy::PlruBits);
+        let lines: Vec<LineAddr> = (0..4).map(|n| l(&t, n)).collect();
+        for line in &lines {
+            t.allocate(*line, StateId::new(1));
+        }
+        // After filling, way 3 was most recently allocated; victim != line 3.
+        let v = t.allocate(l(&t, 4), StateId::new(1)).unwrap();
+        assert_ne!(v.line, lines[3]);
+    }
+
+    #[test]
+    fn random_is_deterministic_across_identical_stores() {
+        let mut t1 = store(4, ReplacementPolicy::Random);
+        let mut t2 = store(4, ReplacementPolicy::Random);
+        let mut evictions1 = Vec::new();
+        let mut evictions2 = Vec::new();
+        for n in 0..32 {
+            if let Some(v) = t1.allocate(l(&t1, n), StateId::new(1)) {
+                evictions1.push(v.line);
+            }
+            if let Some(v) = t2.allocate(l(&t2, n), StateId::new(1)) {
+                evictions2.push(v.line);
+            }
+        }
+        assert_eq!(evictions1, evictions2);
+        assert!(!evictions1.is_empty());
+    }
+
+    #[test]
+    fn reallocation_updates_state_without_eviction() {
+        let mut t = store(2, ReplacementPolicy::Lru);
+        let a = l(&t, 0);
+        t.allocate(a, StateId::new(1));
+        assert!(t.allocate(a, StateId::new(3)).is_none());
+        assert_eq!(t.state(a), StateId::new(3));
+        assert_eq!(t.resident_lines(), 1);
+    }
+
+    #[test]
+    fn iter_lists_resident_entries() {
+        let mut t = store(2, ReplacementPolicy::Lru);
+        t.allocate(l(&t, 0), StateId::new(1));
+        t.allocate(l(&t, 1), StateId::new(2));
+        let mut got: Vec<_> = t.iter().collect();
+        got.sort_by_key(|(line, _)| line.value());
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].1, StateId::new(1));
+        assert_eq!(got[1].1, StateId::new(2));
+    }
+
+    #[test]
+    fn direct_mapped_always_evicts_the_conflicting_way() {
+        let mut t = store(1, ReplacementPolicy::Lru);
+        let (a, b) = (l(&t, 0), l(&t, 1));
+        t.allocate(a, StateId::new(1));
+        let v = t.allocate(b, StateId::new(1)).unwrap();
+        assert_eq!(v.line, a);
+    }
+}

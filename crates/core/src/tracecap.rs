@@ -1,0 +1,216 @@
+//! Trace collection firmware (§2.3).
+//!
+//! "The on-board memory (which goes up to 8GB with higher density DRAMs)
+//! can be used to collect bus traces from the host machine and later dump
+//! to a disk in the console machine. The current revision of the MemorIES
+//! board is capable of collecting traces containing up to 1 billion 8-byte
+//! wide bus references at a time." Unlike logic-analyzer tracing, the
+//! board never pauses the host, so traces have no gaps.
+
+use std::fmt;
+use std::io::Write;
+
+use memories_bus::{BusListener, ListenerReaction, Transaction};
+use memories_trace::{TraceError, TraceRecord, TraceWriter};
+
+/// The board's trace-capture firmware: an on-board ring of 8-byte records
+/// filled in real time, dumped to the console afterwards.
+///
+/// Capacity models the on-board memory: the board's current revision holds
+/// up to [`TraceCapture::BOARD_CAPACITY`] records. When full, capture
+/// stops (records are dropped and counted) rather than overwriting —
+/// matching a one-shot capture run.
+///
+/// # Examples
+///
+/// ```
+/// use memories::TraceCapture;
+/// use memories_bus::{Address, BusListener, BusOp, ProcId, SnoopResponse, Transaction};
+///
+/// let mut cap = TraceCapture::new(1000);
+/// let txn = Transaction::new(0, 0, ProcId::new(1), BusOp::Read,
+///                            Address::new(0x80), SnoopResponse::Null);
+/// cap.on_transaction(&txn);
+/// assert_eq!(cap.captured(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TraceCapture {
+    capacity: usize,
+    records: Vec<TraceRecord>,
+    dropped: u64,
+    capture_control: bool,
+}
+
+impl TraceCapture {
+    /// The real board's capacity: one billion 8-byte references.
+    pub const BOARD_CAPACITY: usize = 1_000_000_000;
+
+    /// Creates a capture buffer holding up to `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be nonzero");
+        TraceCapture {
+            capacity,
+            records: Vec::new(),
+            dropped: 0,
+            capture_control: false,
+        }
+    }
+
+    /// Also captures control-class traffic (syncs, interrupts, I/O
+    /// register accesses); off by default, matching the address filter.
+    #[must_use]
+    pub fn with_control_traffic(mut self) -> Self {
+        self.capture_control = true;
+        self
+    }
+
+    /// Records captured so far.
+    pub fn captured(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// References dropped after the buffer filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Whether the buffer is full.
+    pub fn is_full(&self) -> bool {
+        self.records.len() >= self.capacity
+    }
+
+    /// The captured records.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Dumps the capture to a trace stream (the console's
+    /// "dump to a disk" step) and returns the record count.
+    ///
+    /// The writer can be any [`Write`]; pass `&mut file` to keep the file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding and I/O errors.
+    pub fn dump<W: Write>(&self, writer: W) -> Result<u64, TraceError> {
+        let mut w = TraceWriter::new(writer)?;
+        for rec in &self.records {
+            w.write_record(rec)?;
+        }
+        w.finish()
+    }
+
+    /// Clears the buffer for a new capture run.
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.dropped = 0;
+    }
+}
+
+impl BusListener for TraceCapture {
+    fn on_transaction(&mut self, txn: &Transaction) -> ListenerReaction {
+        if !self.capture_control && !txn.op.is_memory() {
+            return ListenerReaction::Proceed;
+        }
+        if self.records.len() < self.capacity {
+            self.records.push(TraceRecord::from_transaction(txn));
+        } else {
+            self.dropped += 1;
+        }
+        ListenerReaction::Proceed
+    }
+}
+
+impl fmt::Display for TraceCapture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace capture: {}/{} records ({} dropped)",
+            self.records.len(),
+            self.capacity,
+            self.dropped
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memories_bus::{Address, BusOp, ProcId, SnoopResponse};
+    use memories_trace::TraceReader;
+
+    fn txn(seq: u64, op: BusOp, addr: u64) -> Transaction {
+        Transaction::new(
+            seq,
+            seq,
+            ProcId::new(0),
+            op,
+            Address::new(addr),
+            SnoopResponse::Null,
+        )
+    }
+
+    #[test]
+    fn captures_memory_traffic_in_order() {
+        let mut cap = TraceCapture::new(10);
+        cap.on_transaction(&txn(0, BusOp::Read, 0x0));
+        cap.on_transaction(&txn(1, BusOp::Rwitm, 0x80));
+        assert_eq!(cap.captured(), 2);
+        assert_eq!(cap.records()[0].op, BusOp::Read);
+        assert_eq!(cap.records()[1].addr, Address::new(0x80));
+    }
+
+    #[test]
+    fn control_traffic_skipped_by_default() {
+        let mut cap = TraceCapture::new(10);
+        cap.on_transaction(&txn(0, BusOp::Sync, 0x0));
+        assert_eq!(cap.captured(), 0);
+        let mut cap = TraceCapture::new(10).with_control_traffic();
+        cap.on_transaction(&txn(0, BusOp::Sync, 0x0));
+        assert_eq!(cap.captured(), 1);
+    }
+
+    #[test]
+    fn stops_when_full_and_counts_drops() {
+        let mut cap = TraceCapture::new(2);
+        for i in 0..5 {
+            cap.on_transaction(&txn(i, BusOp::Read, i * 128));
+        }
+        assert!(cap.is_full());
+        assert_eq!(cap.captured(), 2);
+        assert_eq!(cap.dropped(), 3);
+        // The first two survived — no overwriting.
+        assert_eq!(cap.records()[0].addr, Address::new(0));
+        assert_eq!(cap.records()[1].addr, Address::new(128));
+    }
+
+    #[test]
+    fn dump_roundtrips_through_trace_format() {
+        let mut cap = TraceCapture::new(100);
+        for i in 0..20 {
+            cap.on_transaction(&txn(i, BusOp::Read, i * 128));
+        }
+        let mut buf = Vec::new();
+        assert_eq!(cap.dump(&mut buf).unwrap(), 20);
+        let reader = TraceReader::new(buf.as_slice()).unwrap();
+        let back: Vec<TraceRecord> = reader.map(|r| r.unwrap()).collect();
+        assert_eq!(back, cap.records());
+    }
+
+    #[test]
+    fn clear_resets_for_a_new_run() {
+        let mut cap = TraceCapture::new(2);
+        for i in 0..5 {
+            cap.on_transaction(&txn(i, BusOp::Read, 0));
+        }
+        cap.clear();
+        assert_eq!(cap.captured(), 0);
+        assert_eq!(cap.dropped(), 0);
+        cap.on_transaction(&txn(9, BusOp::Read, 0));
+        assert_eq!(cap.captured(), 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! The memory controller: the default supplier on the bus.
+
+use std::fmt;
+
+/// Counts the traffic the memory controller serves: every transaction not
+/// satisfied by a cache intervention reads or writes DRAM.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemoryController {
+    reads: u64,
+    writes: u64,
+}
+
+impl MemoryController {
+    /// Creates an idle memory controller.
+    pub fn new() -> Self {
+        MemoryController::default()
+    }
+
+    /// Records a line read served from DRAM.
+    pub(crate) fn serve_read(&mut self) {
+        self.reads += 1;
+    }
+
+    /// Records a line write into DRAM (castouts, DMA writes, flushes).
+    pub(crate) fn serve_write(&mut self) {
+        self.writes += 1;
+    }
+
+    /// Lines read from DRAM.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Lines written to DRAM.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+impl fmt::Display for MemoryController {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "memory: {} line reads, {} line writes",
+            self.reads, self.writes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_served_traffic() {
+        let mut m = MemoryController::new();
+        m.serve_read();
+        m.serve_read();
+        m.serve_write();
+        assert_eq!(m.reads(), 2);
+        assert_eq!(m.writes(), 1);
+        assert!(m.to_string().contains("2 line reads"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Machine-level statistics views.
+
+use std::fmt;
+
+use crate::cpu::ProcessorCounters;
+
+/// A snapshot of per-processor and aggregate counters for the whole host
+/// machine.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    per_cpu: Vec<ProcessorCounters>,
+    total: ProcessorCounters,
+}
+
+impl MachineStats {
+    /// Builds a snapshot from per-processor counters.
+    pub fn from_counters(per_cpu: Vec<ProcessorCounters>) -> Self {
+        let mut total = ProcessorCounters::default();
+        for c in &per_cpu {
+            total.merge(c);
+        }
+        MachineStats { per_cpu, total }
+    }
+
+    /// Counters of one processor.
+    pub fn cpu(&self, index: usize) -> &ProcessorCounters {
+        &self.per_cpu[index]
+    }
+
+    /// Number of processors in the snapshot.
+    pub fn cpu_count(&self) -> usize {
+        self.per_cpu.len()
+    }
+
+    /// Aggregate counters across all processors.
+    pub fn total(&self) -> &ProcessorCounters {
+        &self.total
+    }
+
+    /// Total instructions retired.
+    pub fn total_instructions(&self) -> u64 {
+        self.total.instructions
+    }
+
+    /// Total loads issued.
+    pub fn total_loads(&self) -> u64 {
+        self.total.loads
+    }
+
+    /// Total stores issued.
+    pub fn total_stores(&self) -> u64 {
+        self.total.stores
+    }
+
+    /// Total outer-cache (L2) misses across processors.
+    pub fn outer_misses(&self) -> u64 {
+        self.total.outer_misses()
+    }
+
+    /// Aggregate misses per thousand instructions (Table 6 metric).
+    pub fn miss_rate_per_kilo_instructions(&self) -> f64 {
+        self.total.miss_rate_per_kilo_instructions()
+    }
+
+    /// Aggregate outer-cache miss ratio.
+    pub fn outer_miss_ratio(&self) -> f64 {
+        self.total.outer_miss_ratio()
+    }
+}
+
+impl fmt::Display for MachineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "machine: {} cpus, {} instr, {} refs, {} outer misses \
+             ({:.3} per 1k instr, ratio {:.4})",
+            self.per_cpu.len(),
+            self.total.instructions,
+            self.total.references(),
+            self.total.outer_misses(),
+            self.miss_rate_per_kilo_instructions(),
+            self.outer_miss_ratio()
+        )?;
+        write!(
+            f,
+            "  upgrades {}, writebacks {}, fills: mem {} / shr {} / mod {}",
+            self.total.upgrades,
+            self.total.writebacks,
+            self.total.misses_filled_memory,
+            self.total.misses_filled_shared,
+            self.total.misses_filled_modified
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_across_cpus() {
+        let a = ProcessorCounters {
+            instructions: 1000,
+            loads: 10,
+            outer_read_misses: 4,
+            ..Default::default()
+        };
+        let b = ProcessorCounters {
+            instructions: 3000,
+            stores: 20,
+            outer_write_misses: 4,
+            ..Default::default()
+        };
+        let s = MachineStats::from_counters(vec![a, b]);
+        assert_eq!(s.cpu_count(), 2);
+        assert_eq!(s.total_instructions(), 4000);
+        assert_eq!(s.outer_misses(), 8);
+        assert!((s.miss_rate_per_kilo_instructions() - 2.0).abs() < 1e-12);
+        assert_eq!(s.cpu(0).loads, 10);
+    }
+}

@@ -1,0 +1,224 @@
+//! Structural actions a protocol transition can trigger.
+
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+/// A single action emitted by a protocol transition.
+///
+/// Actions are *structural* side effects on the emulated cache: allocate a
+/// tag entry, write data back to memory, or supply data to another node
+/// (intervention). Hit/miss event counting is derived by the node
+/// controller from the event kind and the pre-transition state, so the
+/// tables stay purely architectural.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Allocate a tag entry for the line (victimizing per the replacement
+    /// policy if the set is full).
+    Allocate,
+    /// The emulated cache writes the line back to memory.
+    Writeback,
+    /// The emulated cache would supply a shared copy to the requester.
+    InterveneShared,
+    /// The emulated cache would supply its modified copy to the requester.
+    InterveneModified,
+}
+
+impl Action {
+    /// All actions, in flag-bit order.
+    pub const ALL: [Action; 4] = [
+        Action::Allocate,
+        Action::Writeback,
+        Action::InterveneShared,
+        Action::InterveneModified,
+    ];
+
+    const fn bit(self) -> u8 {
+        match self {
+            Action::Allocate => 1 << 0,
+            Action::Writeback => 1 << 1,
+            Action::InterveneShared => 1 << 2,
+            Action::InterveneModified => 1 << 3,
+        }
+    }
+
+    /// The keyword used in protocol map files.
+    pub const fn keyword(self) -> &'static str {
+        match self {
+            Action::Allocate => "allocate",
+            Action::Writeback => "writeback",
+            Action::InterveneShared => "intervene-shared",
+            Action::InterveneModified => "intervene-modified",
+        }
+    }
+
+    /// Parses a map-file keyword.
+    pub fn from_keyword(s: &str) -> Option<Action> {
+        Action::ALL.iter().copied().find(|a| a.keyword() == s)
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A set of [`Action`]s attached to one transition.
+///
+/// # Examples
+///
+/// ```
+/// use memories_protocol::{Action, ActionSet};
+///
+/// let set = ActionSet::from(Action::Allocate) | Action::Writeback;
+/// assert!(set.contains(Action::Allocate));
+/// assert!(!set.contains(Action::InterveneShared));
+/// assert_eq!(set.iter().count(), 2);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct ActionSet(u8);
+
+impl ActionSet {
+    /// The empty action set.
+    pub const EMPTY: ActionSet = ActionSet(0);
+
+    /// Creates an empty action set.
+    pub const fn new() -> Self {
+        ActionSet(0)
+    }
+
+    /// Whether the set contains `action`.
+    pub const fn contains(self, action: Action) -> bool {
+        self.0 & action.bit() != 0
+    }
+
+    /// Whether the set is empty.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Adds an action.
+    pub fn insert(&mut self, action: Action) {
+        self.0 |= action.bit();
+    }
+
+    /// Returns the set with `action` added.
+    #[must_use]
+    pub const fn with(self, action: Action) -> Self {
+        ActionSet(self.0 | action.bit())
+    }
+
+    /// Whether the set contains any intervention action.
+    pub const fn intervenes(self) -> bool {
+        self.contains(Action::InterveneShared) || self.contains(Action::InterveneModified)
+    }
+
+    /// Iterates over the contained actions in flag order.
+    pub fn iter(self) -> impl Iterator<Item = Action> {
+        Action::ALL.into_iter().filter(move |a| self.contains(*a))
+    }
+}
+
+impl From<Action> for ActionSet {
+    fn from(action: Action) -> Self {
+        ActionSet(action.bit())
+    }
+}
+
+impl BitOr<Action> for ActionSet {
+    type Output = ActionSet;
+    fn bitor(self, rhs: Action) -> ActionSet {
+        self.with(rhs)
+    }
+}
+
+impl BitOr for ActionSet {
+    type Output = ActionSet;
+    fn bitor(self, rhs: ActionSet) -> ActionSet {
+        ActionSet(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign<Action> for ActionSet {
+    fn bitor_assign(&mut self, rhs: Action) {
+        self.insert(rhs);
+    }
+}
+
+impl FromIterator<Action> for ActionSet {
+    fn from_iter<I: IntoIterator<Item = Action>>(iter: I) -> Self {
+        let mut set = ActionSet::new();
+        for a in iter {
+            set.insert(a);
+        }
+        set
+    }
+}
+
+impl fmt::Display for ActionSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("none");
+        }
+        let mut first = true;
+        for a in self.iter() {
+            if !first {
+                f.write_str(" ")?;
+            }
+            write!(f, "{a}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set() {
+        let s = ActionSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.to_string(), "none");
+        assert!(!s.intervenes());
+    }
+
+    #[test]
+    fn insertion_and_membership() {
+        let mut s = ActionSet::new();
+        s |= Action::Allocate;
+        s |= Action::InterveneModified;
+        assert!(s.contains(Action::Allocate));
+        assert!(s.contains(Action::InterveneModified));
+        assert!(!s.contains(Action::Writeback));
+        assert!(s.intervenes());
+    }
+
+    #[test]
+    fn from_iterator_and_bitor() {
+        let s: ActionSet = [Action::Writeback, Action::InterveneShared]
+            .into_iter()
+            .collect();
+        assert_eq!(
+            s,
+            ActionSet::from(Action::Writeback) | Action::InterveneShared
+        );
+        assert_eq!(s | s, s);
+    }
+
+    #[test]
+    fn keywords_roundtrip() {
+        for a in Action::ALL {
+            assert_eq!(Action::from_keyword(a.keyword()), Some(a));
+        }
+        assert_eq!(Action::from_keyword("explode"), None);
+    }
+
+    #[test]
+    fn display_lists_keywords_in_flag_order() {
+        let s = ActionSet::from(Action::InterveneShared) | Action::Allocate;
+        assert_eq!(s.to_string(), "allocate intervene-shared");
+    }
+}

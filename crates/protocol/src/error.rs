@@ -1,0 +1,166 @@
+//! Error types for protocol table construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::event::{AccessEvent, RemoteSummary};
+
+/// A protocol table failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The table defines no states or more than the supported maximum.
+    BadStateCount {
+        /// Number of states requested.
+        count: usize,
+    },
+    /// Two states share a name.
+    DuplicateStateName {
+        /// The repeated name.
+        name: String,
+    },
+    /// A transition cell was never defined.
+    MissingTransition {
+        /// The event of the undefined cell.
+        event: AccessEvent,
+        /// The name of the state of the undefined cell.
+        state: String,
+        /// The remote summary of the undefined cell.
+        remote: RemoteSummary,
+    },
+    /// A transition references a state id outside the declared state count.
+    UnknownNextState {
+        /// The event of the offending cell.
+        event: AccessEvent,
+        /// The raw next-state id.
+        next: u8,
+    },
+    /// The initial state id is outside the declared state count.
+    BadInitialState {
+        /// The raw initial state id.
+        initial: u8,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::BadStateCount { count } => {
+                write!(
+                    f,
+                    "protocol must define between 1 and 8 states, got {count}"
+                )
+            }
+            ProtocolError::DuplicateStateName { name } => {
+                write!(f, "duplicate state name {name:?}")
+            }
+            ProtocolError::MissingTransition {
+                event,
+                state,
+                remote,
+            } => write!(
+                f,
+                "no transition defined for event {event}, state {state}, remote {remote}"
+            ),
+            ProtocolError::UnknownNextState { event, next } => {
+                write!(
+                    f,
+                    "transition for event {event} targets undeclared state {next}"
+                )
+            }
+            ProtocolError::BadInitialState { initial } => {
+                write!(f, "initial state {initial} is not a declared state")
+            }
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+/// The kind of failure encountered while parsing a protocol map file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// The line does not start with a recognized directive.
+    UnknownDirective(String),
+    /// A `protocol` directive was expected before any other content.
+    MissingProtocolHeader,
+    /// The `states` directive is missing or appeared twice.
+    BadStatesDirective,
+    /// A referenced state name was never declared.
+    UnknownState(String),
+    /// An unknown event keyword.
+    UnknownEvent(String),
+    /// An unknown remote-summary keyword.
+    UnknownRemote(String),
+    /// An unknown action keyword.
+    UnknownAction(String),
+    /// The rule line is malformed (missing `->`, wrong arity, ...).
+    MalformedRule,
+    /// Table validation failed after parsing.
+    Invalid(ProtocolError),
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseErrorKind::UnknownDirective(d) => write!(f, "unknown directive {d:?}"),
+            ParseErrorKind::MissingProtocolHeader => {
+                write!(f, "file must begin with a `protocol <name>` directive")
+            }
+            ParseErrorKind::BadStatesDirective => {
+                write!(f, "exactly one `states <names...>` directive is required")
+            }
+            ParseErrorKind::UnknownState(s) => write!(f, "unknown state {s:?}"),
+            ParseErrorKind::UnknownEvent(s) => write!(f, "unknown event {s:?}"),
+            ParseErrorKind::UnknownRemote(s) => write!(f, "unknown remote summary {s:?}"),
+            ParseErrorKind::UnknownAction(s) => write!(f, "unknown action {s:?}"),
+            ParseErrorKind::MalformedRule => {
+                write!(
+                    f,
+                    "malformed rule; expected `on <event> <state> <remote> -> <next> [actions...]`"
+                )
+            }
+            ParseErrorKind::Invalid(e) => write!(f, "table validation failed: {e}"),
+        }
+    }
+}
+
+/// A parse failure with the 1-based line number at which it occurred.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolParseError {
+    /// 1-based line number in the map file.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+impl fmt::Display for ProtocolParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.kind)
+    }
+}
+
+impl Error for ProtocolParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = ProtocolError::MissingTransition {
+            event: AccessEvent::LocalRead,
+            state: "M".to_string(),
+            remote: RemoteSummary::Shared,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("local-read"));
+        assert!(msg.contains('M'));
+        assert!(msg.contains("shared"));
+
+        let pe = ProtocolParseError {
+            line: 7,
+            kind: ParseErrorKind::MalformedRule,
+        };
+        assert!(pe.to_string().starts_with("line 7:"));
+    }
+}

@@ -1,0 +1,49 @@
+//! Programmable cache-coherence protocols as state-transition lookup tables.
+//!
+//! MemorIES models cache protocols "as a lookup table which consists of the
+//! type of memory operation, the current state of the cache entry, and the
+//! resulting state from other cache nodes" (§3.2). The table map file is
+//! loaded into each node-controller FPGA at initialization, and *different*
+//! tables can be loaded into different node controllers to compare
+//! coherence protocols in the same run.
+//!
+//! This crate reproduces that machinery in software:
+//!
+//! * [`StateId`] — one of up to eight programmable line states.
+//! * [`AccessEvent`] — the operation classification fed to the table.
+//! * [`RemoteSummary`] — the combined state of the line in *other* emulated
+//!   nodes.
+//! * [`ActionSet`] / [`Action`] — structural actions a transition triggers.
+//! * [`ProtocolTable`] — the dense, validated lookup table, with a
+//!   [`TableBuilder`] and a line-oriented text format
+//!   ([`ProtocolTable::parse_map_file`] / [`ProtocolTable::to_map_file`])
+//!   mirroring the loadable FPGA map files.
+//! * [`standard`] — ready-made MESI, MSI, MOESI, and write-through tables.
+//!
+//! # Examples
+//!
+//! ```
+//! use memories_protocol::{standard, AccessEvent, RemoteSummary};
+//!
+//! let mesi = standard::mesi();
+//! let t = mesi.lookup(AccessEvent::LocalRead, mesi.initial_state(), RemoteSummary::None);
+//! // A read miss with no other sharer allocates in Exclusive.
+//! assert_eq!(mesi.state_name(t.next), "E");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod action;
+mod error;
+mod event;
+mod parser;
+pub mod standard;
+mod state;
+mod table;
+
+pub use action::{Action, ActionSet};
+pub use error::{ParseErrorKind, ProtocolError, ProtocolParseError};
+pub use event::{AccessEvent, RemoteSummary};
+pub use state::StateId;
+pub use table::{ProtocolTable, TableBuilder, Transition};

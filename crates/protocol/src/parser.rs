@@ -1,0 +1,316 @@
+//! The protocol map-file text format.
+//!
+//! The format mirrors the loadable FPGA lookup-table files of §3.2: a
+//! header naming the protocol and its states, then one rule per cell with
+//! `*` wildcards over states and remote summaries. Later rules overwrite
+//! earlier ones, so files are typically written wildcard-first:
+//!
+//! ```text
+//! protocol mesi
+//! states I S E M
+//!
+//! # event        state remote    -> next actions...
+//! on local-read  I     none      -> E allocate
+//! on local-read  I     *         -> S allocate
+//! on local-read  *     *         -> same
+//! ```
+//!
+//! The special next-state `same` keeps the current state (only meaningful
+//! with a concrete or wildcard state; it expands per state).
+
+use crate::action::{Action, ActionSet};
+use crate::error::{ParseErrorKind, ProtocolParseError};
+use crate::event::{AccessEvent, RemoteSummary};
+use crate::state::StateId;
+use crate::table::{ProtocolTable, TableBuilder, Transition};
+
+impl ProtocolTable {
+    /// Parses a protocol map file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtocolParseError`] carrying the 1-based line number of
+    /// the first malformed line, or a validation error if the parsed table
+    /// is incomplete.
+    pub fn parse_map_file(text: &str) -> Result<ProtocolTable, ProtocolParseError> {
+        let mut name: Option<String> = None;
+        let mut builder: Option<TableBuilder> = None;
+        let mut last_line = 0;
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let lineno = lineno + 1;
+            last_line = lineno;
+            let line = match raw.find('#') {
+                Some(pos) => &raw[..pos],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            let directive = words.next().expect("nonempty line has a first word");
+            match directive {
+                "protocol" => {
+                    let n = words.next().ok_or(ProtocolParseError {
+                        line: lineno,
+                        kind: ParseErrorKind::MalformedRule,
+                    })?;
+                    name = Some(n.to_string());
+                }
+                "states" => {
+                    let protocol_name = name.clone().ok_or(ProtocolParseError {
+                        line: lineno,
+                        kind: ParseErrorKind::MissingProtocolHeader,
+                    })?;
+                    if builder.is_some() {
+                        return Err(ProtocolParseError {
+                            line: lineno,
+                            kind: ParseErrorKind::BadStatesDirective,
+                        });
+                    }
+                    let states: Vec<&str> = words.collect();
+                    let b = TableBuilder::new(&protocol_name, &states).map_err(|e| {
+                        ProtocolParseError {
+                            line: lineno,
+                            kind: ParseErrorKind::Invalid(e),
+                        }
+                    })?;
+                    builder = Some(b);
+                }
+                "on" => {
+                    let b = builder.as_mut().ok_or(ProtocolParseError {
+                        line: lineno,
+                        kind: ParseErrorKind::BadStatesDirective,
+                    })?;
+                    parse_rule(b, line, lineno)?;
+                }
+                other => {
+                    return Err(ProtocolParseError {
+                        line: lineno,
+                        kind: ParseErrorKind::UnknownDirective(other.to_string()),
+                    })
+                }
+            }
+        }
+
+        let builder = builder.ok_or(ProtocolParseError {
+            line: last_line,
+            kind: ParseErrorKind::BadStatesDirective,
+        })?;
+        builder.build().map_err(|e| ProtocolParseError {
+            line: last_line,
+            kind: ParseErrorKind::Invalid(e),
+        })
+    }
+
+    /// Renders the table back to map-file text. The output parses to an
+    /// identical table (see the roundtrip property test).
+    pub fn to_map_file(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        writeln!(out, "protocol {}", self.name()).expect("writing to String cannot fail");
+        let names: Vec<&str> = StateId::all(self.state_count())
+            .map(|s| self.state_name(s))
+            .collect();
+        writeln!(out, "states {}", names.join(" ")).expect("writing to String cannot fail");
+        for event in AccessEvent::ALL {
+            for state in StateId::all(self.state_count()) {
+                for remote in RemoteSummary::ALL {
+                    let t = self.lookup(event, state, remote);
+                    write!(
+                        out,
+                        "on {} {} {} -> {}",
+                        event.keyword(),
+                        self.state_name(state),
+                        remote.keyword(),
+                        self.state_name(t.next)
+                    )
+                    .expect("writing to String cannot fail");
+                    for action in t.actions.iter() {
+                        write!(out, " {}", action.keyword())
+                            .expect("writing to String cannot fail");
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+}
+
+fn parse_rule(b: &mut TableBuilder, line: &str, lineno: usize) -> Result<(), ProtocolParseError> {
+    let err = |kind| ProtocolParseError { line: lineno, kind };
+
+    let (lhs, rhs) = line
+        .split_once("->")
+        .ok_or_else(|| err(ParseErrorKind::MalformedRule))?;
+    let lhs: Vec<&str> = lhs.split_whitespace().collect();
+    let rhs: Vec<&str> = rhs.split_whitespace().collect();
+    // lhs: ["on", event, state, remote]
+    if lhs.len() != 4 || lhs[0] != "on" || rhs.is_empty() {
+        return Err(err(ParseErrorKind::MalformedRule));
+    }
+    let event = AccessEvent::from_keyword(lhs[1])
+        .ok_or_else(|| err(ParseErrorKind::UnknownEvent(lhs[1].to_string())))?;
+    let states: Vec<StateId> = if lhs[2] == "*" {
+        StateId::all(b.state_count()).collect()
+    } else {
+        vec![b
+            .state_by_name(lhs[2])
+            .ok_or_else(|| err(ParseErrorKind::UnknownState(lhs[2].to_string())))?]
+    };
+    let remotes: Vec<RemoteSummary> = if lhs[3] == "*" {
+        RemoteSummary::ALL.to_vec()
+    } else {
+        vec![RemoteSummary::from_keyword(lhs[3])
+            .ok_or_else(|| err(ParseErrorKind::UnknownRemote(lhs[3].to_string())))?]
+    };
+
+    let mut actions = ActionSet::new();
+    for word in &rhs[1..] {
+        let action = Action::from_keyword(word)
+            .ok_or_else(|| err(ParseErrorKind::UnknownAction((*word).to_string())))?;
+        actions.insert(action);
+    }
+
+    for state in &states {
+        let next = if rhs[0] == "same" {
+            *state
+        } else {
+            b.state_by_name(rhs[0])
+                .ok_or_else(|| err(ParseErrorKind::UnknownState(rhs[0].to_string())))?
+        };
+        for remote in &remotes {
+            b.on(event, *state, *remote, Transition::new(next, actions));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI: &str = "\
+protocol mini
+states I V
+# wildcard-first style
+on local-read * * -> V allocate
+on local-write * * -> V allocate
+on local-upgrade * * -> V
+on local-castout * * -> V allocate
+on remote-read * * -> same
+on remote-write * * -> I
+on io-read * * -> same
+on io-write * * -> I
+on flush V * -> I writeback
+on flush I * -> I
+";
+
+    #[test]
+    fn parses_minimal_protocol() {
+        let t = ProtocolTable::parse_map_file(MINI).unwrap();
+        assert_eq!(t.name(), "mini");
+        assert_eq!(t.state_count(), 2);
+        let v = t.state_by_name("V").unwrap();
+        let tr = t.lookup(
+            AccessEvent::LocalRead,
+            StateId::INVALID,
+            RemoteSummary::None,
+        );
+        assert_eq!(tr.next, v);
+        assert!(tr.actions.contains(Action::Allocate));
+        let fl = t.lookup(AccessEvent::Flush, v, RemoteSummary::Modified);
+        assert_eq!(fl.next, StateId::INVALID);
+        assert!(fl.actions.contains(Action::Writeback));
+    }
+
+    #[test]
+    fn same_keyword_expands_per_state() {
+        let t = ProtocolTable::parse_map_file(MINI).unwrap();
+        let v = t.state_by_name("V").unwrap();
+        assert_eq!(
+            t.lookup(AccessEvent::RemoteRead, v, RemoteSummary::None)
+                .next,
+            v
+        );
+        assert_eq!(
+            t.lookup(
+                AccessEvent::RemoteRead,
+                StateId::INVALID,
+                RemoteSummary::None
+            )
+            .next,
+            StateId::INVALID
+        );
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let bad = "protocol p\nstates I V\non local-read I bogus -> V\n";
+        let e = ProtocolTable::parse_map_file(bad).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(matches!(e.kind, ParseErrorKind::UnknownRemote(_)));
+    }
+
+    #[test]
+    fn rejects_unknown_directive_and_missing_header() {
+        let e = ProtocolTable::parse_map_file("frobnicate x\n").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::UnknownDirective(_)));
+
+        let e = ProtocolTable::parse_map_file("states I V\n").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::MissingProtocolHeader));
+    }
+
+    #[test]
+    fn rejects_incomplete_table() {
+        let partial = "protocol p\nstates I V\non local-read * * -> V\n";
+        let e = ProtocolTable::parse_map_file(partial).unwrap_err();
+        assert!(matches!(
+            e.kind,
+            ParseErrorKind::Invalid(crate::error::ProtocolError::MissingTransition { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_event_state_action() {
+        let base = "protocol p\nstates I V\n";
+        for (line, kind_check) in [
+            (
+                "on teleport I none -> V",
+                ParseErrorKind::UnknownEvent("teleport".into()),
+            ),
+            (
+                "on local-read Q none -> V",
+                ParseErrorKind::UnknownState("Q".into()),
+            ),
+            (
+                "on local-read I none -> Q",
+                ParseErrorKind::UnknownState("Q".into()),
+            ),
+            (
+                "on local-read I none -> V explode",
+                ParseErrorKind::UnknownAction("explode".into()),
+            ),
+            ("on local-read I none V", ParseErrorKind::MalformedRule),
+        ] {
+            let e = ProtocolTable::parse_map_file(&format!("{base}{line}\n")).unwrap_err();
+            assert_eq!(e.kind, kind_check, "for line {line:?}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let with_noise = format!("\n# leading comment\n\n{MINI}\n# trailing\n");
+        assert!(ProtocolTable::parse_map_file(&with_noise).is_ok());
+    }
+
+    #[test]
+    fn map_file_roundtrip() {
+        let t = ProtocolTable::parse_map_file(MINI).unwrap();
+        let text = t.to_map_file();
+        let t2 = ProtocolTable::parse_map_file(&text).unwrap();
+        assert_eq!(t, t2);
+    }
+}

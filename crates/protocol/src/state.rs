@@ -1,0 +1,101 @@
+//! Programmable cache line states.
+
+use std::fmt;
+
+/// One of up to eight programmable line states in a protocol table.
+///
+/// State 0 is, by convention, the invalid/absent state of every protocol
+/// (the tag store starts with all entries in state 0 and frees entries that
+/// return to it). The remaining states carry whatever meaning the loaded
+/// protocol assigns; names are stored in the owning
+/// [`ProtocolTable`](crate::ProtocolTable).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(u8);
+
+impl StateId {
+    /// Maximum number of states a protocol table may define.
+    pub const MAX_STATES: usize = 8;
+
+    /// The conventional invalid/absent state (state 0).
+    pub const INVALID: StateId = StateId(0);
+
+    /// Creates a state id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= StateId::MAX_STATES`.
+    pub fn new(id: u8) -> Self {
+        assert!(
+            (id as usize) < Self::MAX_STATES,
+            "state id {id} out of range (max {})",
+            Self::MAX_STATES
+        );
+        StateId(id)
+    }
+
+    /// Const constructor for compile-time state ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics at compile time (or runtime) if `id >= StateId::MAX_STATES`.
+    pub const fn new_const(id: u8) -> Self {
+        assert!((id as usize) < Self::MAX_STATES);
+        StateId(id)
+    }
+
+    /// Returns the raw id.
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Returns the id as a dense array index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the conventional invalid state.
+    pub const fn is_invalid(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over the first `count` state ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > StateId::MAX_STATES`.
+    pub fn all(count: usize) -> impl Iterator<Item = StateId> {
+        assert!(count <= Self::MAX_STATES);
+        (0..count as u8).map(StateId)
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_is_state_zero() {
+        assert_eq!(StateId::INVALID.value(), 0);
+        assert!(StateId::INVALID.is_invalid());
+        assert!(!StateId::new(1).is_invalid());
+    }
+
+    #[test]
+    fn all_enumerates_exactly_count() {
+        let ids: Vec<_> = StateId::all(4).collect();
+        assert_eq!(ids.len(), 4);
+        assert_eq!(ids[3], StateId::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = StateId::new(8);
+    }
+}

@@ -1,0 +1,98 @@
+//! Differential comparison between the board and the reference simulator.
+//!
+//! The paper validated the hardware against a trace-driven C simulator;
+//! we do the same continuously: any divergence between
+//! [`MemoriesBoard`](memories::MemoriesBoard) and [`CacheSim`] on the
+//! same trace is a bug in one of them.
+
+use std::fmt;
+
+use memories::{NodeCounter, NodeCounters};
+
+/// The result of comparing two counter banks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompareReport {
+    /// Counters that differ: `(counter, board value, simulator value)`.
+    pub diffs: Vec<(NodeCounter, u64, u64)>,
+}
+
+impl CompareReport {
+    /// Whether the two banks agreed exactly.
+    pub fn matches(&self) -> bool {
+        self.diffs.is_empty()
+    }
+}
+
+impl fmt::Display for CompareReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.matches() {
+            return f.write_str("board and simulator agree on every counter");
+        }
+        writeln!(f, "{} counter(s) diverge:", self.diffs.len())?;
+        for (c, board, sim) in &self.diffs {
+            writeln!(
+                f,
+                "  {:>24}: board {} vs simulator {}",
+                c.label(),
+                board,
+                sim
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Compares a board node's counters against the reference simulator's,
+/// ignoring timing-only counters (buffer overflows cannot occur in the
+/// untimed simulator).
+pub fn compare_counts(board: &NodeCounters, sim: &NodeCounters) -> CompareReport {
+    let mut diffs = Vec::new();
+    for c in NodeCounter::ALL {
+        if matches!(c, NodeCounter::BufferOverflows | NodeCounter::EventsDropped) {
+            continue;
+        }
+        let (b, s) = (board.get(c), sim.get(c));
+        if b != s {
+            diffs.push((c, b, s));
+        }
+    }
+    CompareReport { diffs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_banks_match() {
+        let mut a = NodeCounters::new();
+        let mut b = NodeCounters::new();
+        a.add(NodeCounter::ReadHits, 5);
+        b.add(NodeCounter::ReadHits, 5);
+        let r = compare_counts(&a, &b);
+        assert!(r.matches());
+        assert!(r.to_string().contains("agree"));
+    }
+
+    #[test]
+    fn divergence_is_reported_per_counter() {
+        let mut a = NodeCounters::new();
+        let mut b = NodeCounters::new();
+        a.add(NodeCounter::ReadHits, 5);
+        b.add(NodeCounter::ReadHits, 4);
+        b.add(NodeCounter::WriteMisses, 1);
+        let r = compare_counts(&a, &b);
+        assert!(!r.matches());
+        assert_eq!(r.diffs.len(), 2);
+        assert!(r.to_string().contains("read-hits"));
+    }
+
+    #[test]
+    fn timing_counters_are_excluded() {
+        let mut a = NodeCounters::new();
+        let b = NodeCounters::new();
+        a.add(NodeCounter::BufferOverflows, 3);
+        a.add(NodeCounter::EventsDropped, 3);
+        assert!(compare_counts(&a, &b).matches());
+    }
+}

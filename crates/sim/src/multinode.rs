@@ -1,0 +1,293 @@
+//! A multi-node reference simulator: the differential oracle for
+//! multi-node board configurations.
+//!
+//! [`CacheSim`](crate::CacheSim) validates single-node boards; this model
+//! independently re-implements the *multi-node* semantics — CPU-id
+//! partitioning, local/remote event classification, lock-step remote
+//! summaries — over plain per-node maps, so agreement with
+//! [`MemoriesBoard`](memories::MemoriesBoard) exercises the board's
+//! filter and cross-node paths too. Structures and control flow are
+//! deliberately different from both the board and `CacheSim` (per-line
+//! hash maps with seperate per-set occupancy lists).
+
+use std::collections::HashMap;
+
+use memories::{CacheParams, NodeCounter, NodeCounters};
+use memories_bus::{BusOp, ProcId, SnoopResponse};
+use memories_protocol::{AccessEvent, Action, ProtocolTable, RemoteSummary, StateId};
+use memories_trace::TraceRecord;
+
+/// One emulated node of the reference model.
+struct NodeModel {
+    params: CacheParams,
+    protocol: ProtocolTable,
+    domain: u8,
+    local: Vec<ProcId>,
+    /// line number -> (state, lru stamp)
+    lines: HashMap<u64, (StateId, u64)>,
+    /// set index -> resident line numbers
+    sets: HashMap<usize, Vec<u64>>,
+    touched: std::collections::HashSet<u64>,
+    counts: NodeCounters,
+    tick: u64,
+}
+
+impl NodeModel {
+    fn state_of(&self, line: u64) -> StateId {
+        self.lines.get(&line).map_or(StateId::INVALID, |(s, _)| *s)
+    }
+
+    fn summarize(&self, addr: u64) -> RemoteSummary {
+        let line = addr >> self.params.geometry().line_size().trailing_zeros();
+        self.protocol.summarize_state(self.state_of(line))
+    }
+}
+
+/// The multi-node reference simulator.
+///
+/// Build it with the same `(params, protocol, domain, local cpus)` slots
+/// as the board, feed it the same trace, and compare every node's
+/// counters.
+pub struct MultiNodeSim {
+    nodes: Vec<NodeModel>,
+}
+
+impl MultiNodeSim {
+    /// Creates the model from per-node slots.
+    pub fn new(slots: Vec<(CacheParams, ProtocolTable, u8, Vec<ProcId>)>) -> Self {
+        MultiNodeSim {
+            nodes: slots
+                .into_iter()
+                .map(|(params, protocol, domain, local)| NodeModel {
+                    params,
+                    protocol,
+                    domain,
+                    local,
+                    lines: HashMap::new(),
+                    sets: HashMap::new(),
+                    touched: std::collections::HashSet::new(),
+                    counts: NodeCounters::new(),
+                    tick: 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// A node's accumulated counters.
+    pub fn counts(&self, node: usize) -> &NodeCounters {
+        &self.nodes[node].counts
+    }
+
+    /// Classifies `op` for node `n` exactly as the address filter does.
+    fn classify(&self, n: usize, op: BusOp, proc: ProcId) -> Option<AccessEvent> {
+        match op {
+            BusOp::DmaRead => return Some(AccessEvent::IoRead),
+            BusOp::DmaWrite => return Some(AccessEvent::IoWrite),
+            BusOp::IoRead | BusOp::IoWrite | BusOp::Sync | BusOp::Interrupt => return None,
+            _ => {}
+        }
+        let node = &self.nodes[n];
+        let local = node.local.contains(&proc);
+        let in_domain = local
+            || self
+                .nodes
+                .iter()
+                .any(|other| other.domain == node.domain && other.local.contains(&proc));
+        match (local, in_domain, op) {
+            (true, _, BusOp::Read) => Some(AccessEvent::LocalRead),
+            (true, _, BusOp::Rwitm) => Some(AccessEvent::LocalWrite),
+            (true, _, BusOp::DClaim) => Some(AccessEvent::LocalUpgrade),
+            (true, _, BusOp::WriteBack) => Some(AccessEvent::LocalCastout),
+            (_, true, BusOp::Flush) => Some(AccessEvent::Flush),
+            (false, true, BusOp::Read) => Some(AccessEvent::RemoteRead),
+            (false, true, BusOp::Rwitm | BusOp::DClaim) => Some(AccessEvent::RemoteWrite),
+            _ => None,
+        }
+    }
+
+    /// Processes one trace record (untimed: buffers never overflow).
+    pub fn step(&mut self, rec: &TraceRecord) {
+        if rec.resp == SnoopResponse::Retry {
+            return;
+        }
+        // Lock step phase 1: per-node event + remote summary snapshots.
+        let mut work: Vec<(usize, AccessEvent, RemoteSummary)> = Vec::new();
+        for n in 0..self.nodes.len() {
+            let Some(event) = self.classify(n, rec.op, rec.proc) else {
+                continue;
+            };
+            let domain = self.nodes[n].domain;
+            let mut remote = RemoteSummary::None;
+            for (j, other) in self.nodes.iter().enumerate() {
+                if j != n && other.domain == domain {
+                    remote = remote.max(other.summarize(rec.addr.value()));
+                }
+            }
+            work.push((n, event, remote));
+        }
+        // Phase 2: transitions.
+        for (n, event, remote) in work {
+            self.apply(n, event, remote, rec);
+        }
+    }
+
+    fn apply(&mut self, n: usize, event: AccessEvent, remote: RemoteSummary, rec: &TraceRecord) {
+        let node = &mut self.nodes[n];
+        node.tick += 1;
+        let geom = *node.params.geometry();
+        let line = rec.addr.value() >> geom.line_size().trailing_zeros();
+        let set = (line as usize) & (geom.sets() - 1);
+        let state = node.state_of(line);
+        let hit = !state.is_invalid();
+        let t = node.protocol.lookup(event, state, remote);
+        let cold = node.touched.insert(line);
+
+        use NodeCounter as C;
+        match event {
+            AccessEvent::LocalRead => {
+                if hit {
+                    node.counts.incr(C::ReadHits);
+                } else {
+                    node.counts.incr(C::ReadMisses);
+                    if cold {
+                        node.counts.incr(C::ReadColdMisses);
+                    }
+                }
+            }
+            AccessEvent::LocalWrite => {
+                if hit {
+                    node.counts.incr(C::WriteHits);
+                } else {
+                    node.counts.incr(C::WriteMisses);
+                    if cold {
+                        node.counts.incr(C::WriteColdMisses);
+                    }
+                }
+            }
+            AccessEvent::LocalUpgrade => {
+                node.counts.incr(if hit { C::UpgradeHits } else { C::UpgradeMisses })
+            }
+            AccessEvent::LocalCastout => {
+                node.counts.incr(C::CastoutsSeen);
+                if !hit {
+                    node.counts.incr(C::CastoutAllocates);
+                }
+            }
+            AccessEvent::RemoteRead => node.counts.incr(C::RemoteReadsSeen),
+            AccessEvent::RemoteWrite => {
+                node.counts.incr(C::RemoteWritesSeen);
+                if hit && t.next.is_invalid() {
+                    node.counts.incr(C::RemoteInvalidations);
+                }
+            }
+            AccessEvent::IoRead => node.counts.incr(C::IoReadsSeen),
+            AccessEvent::IoWrite => {
+                node.counts.incr(C::IoWritesSeen);
+                if hit {
+                    node.counts.incr(C::IoInvalidations);
+                }
+            }
+            AccessEvent::Flush => node.counts.incr(C::FlushesSeen),
+        }
+
+        if matches!(event, AccessEvent::LocalRead | AccessEvent::LocalWrite) {
+            match rec.resp {
+                SnoopResponse::Modified => node.counts.incr(C::DemandFilledL2Modified),
+                SnoopResponse::Shared => node.counts.incr(C::DemandFilledL2Shared),
+                _ if hit => node.counts.incr(C::DemandFilledL3),
+                _ => node.counts.incr(C::DemandFilledMemory),
+            }
+        }
+        if t.actions.contains(Action::InterveneShared) {
+            node.counts.incr(C::InterventionsShared);
+        }
+        if t.actions.contains(Action::InterveneModified) {
+            node.counts.incr(C::InterventionsModified);
+        }
+        if t.actions.contains(Action::Writeback) {
+            node.counts.incr(C::ProtocolWritebacks);
+        }
+
+        // State application.
+        if t.next.is_invalid() {
+            if hit {
+                node.lines.remove(&line);
+                if let Some(v) = node.sets.get_mut(&set) {
+                    v.retain(|l| *l != line);
+                }
+            }
+        } else if hit {
+            let entry = node.lines.get_mut(&line).expect("hit implies resident");
+            entry.0 = t.next;
+            if event.is_demand() {
+                entry.1 = node.tick;
+            }
+        } else if t.actions.contains(Action::Allocate) {
+            let occupants = node.sets.entry(set).or_default();
+            if occupants.len() as u32 >= geom.ways() {
+                // Evict LRU.
+                let victim = *occupants
+                    .iter()
+                    .min_by_key(|l| node.lines.get(l).map(|(_, stamp)| *stamp))
+                    .expect("full set is nonempty");
+                let (vstate, _) = node.lines.remove(&victim).expect("victim resident");
+                occupants.retain(|l| *l != victim);
+                node.counts.incr(C::VictimEvictions);
+                if node.protocol.is_dirty_state(vstate) {
+                    node.counts.incr(C::VictimWritebacks);
+                }
+            }
+            occupants.push(line);
+            node.lines.insert(line, (t.next, node.tick));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memories_bus::Address;
+    use memories_protocol::standard;
+
+    fn params() -> CacheParams {
+        CacheParams::builder()
+            .capacity(4096)
+            .ways(2)
+            .line_size(128)
+            .allow_scaled_down()
+            .build()
+            .unwrap()
+    }
+
+    fn rec(proc: u8, op: BusOp, addr: u64) -> TraceRecord {
+        TraceRecord::new(op, ProcId::new(proc), SnoopResponse::Null, Address::new(addr))
+    }
+
+    #[test]
+    fn two_node_remote_invalidation() {
+        let mut sim = MultiNodeSim::new(vec![
+            (params(), standard::mesi(), 0, (0..4).map(ProcId::new).collect()),
+            (params(), standard::mesi(), 0, (4..8).map(ProcId::new).collect()),
+        ]);
+        sim.step(&rec(0, BusOp::Rwitm, 0x1000)); // node0 local write
+        sim.step(&rec(4, BusOp::Rwitm, 0x1000)); // node1 write invalidates node0
+        assert_eq!(sim.counts(0).get(NodeCounter::WriteMisses), 1);
+        assert_eq!(sim.counts(0).get(NodeCounter::RemoteInvalidations), 1);
+        assert_eq!(sim.counts(1).get(NodeCounter::WriteMisses), 1);
+        assert_eq!(sim.counts(0).get(NodeCounter::InterventionsModified), 1);
+    }
+
+    #[test]
+    fn domains_are_isolated() {
+        let mut sim = MultiNodeSim::new(vec![
+            (params(), standard::mesi(), 0, (0..8).map(ProcId::new).collect()),
+            (params(), standard::mesi(), 1, (0..8).map(ProcId::new).collect()),
+        ]);
+        sim.step(&rec(0, BusOp::Read, 0x2000));
+        // Both nodes see the read as local; neither sees it as remote.
+        for n in 0..2 {
+            assert_eq!(sim.counts(n).get(NodeCounter::ReadMisses), 1);
+            assert_eq!(sim.counts(n).get(NodeCounter::RemoteReadsSeen), 0);
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Trace file reading and writing.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+
+use memories_bus::Transaction;
+
+use crate::error::TraceError;
+use crate::record::TraceRecord;
+
+/// Magic bytes at the start of every trace stream.
+pub const TRACE_MAGIC: [u8; 4] = *b"MIES";
+
+/// Current trace format version.
+pub const TRACE_VERSION: u16 = 1;
+
+/// Writes a trace stream: a 8-byte header (magic + version + reserved)
+/// followed by little-endian 8-byte records.
+///
+/// Readers that need the writer back can pass `&mut writer` since
+/// `&mut W: Write`.
+///
+/// Call [`TraceWriter::finish`] to flush; dropping without finishing
+/// flushes on a best-effort basis (errors are discarded, per the
+/// never-failing-destructor convention).
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    inner: BufWriter<W>,
+    written: u64,
+    finished: bool,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Creates a writer and emits the stream header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the header.
+    pub fn new(writer: W) -> Result<Self, TraceError> {
+        let mut inner = BufWriter::new(writer);
+        inner.write_all(&TRACE_MAGIC)?;
+        inner.write_all(&TRACE_VERSION.to_le_bytes())?;
+        inner.write_all(&[0u8; 2])?; // reserved
+        Ok(TraceWriter {
+            inner,
+            written: 0,
+            finished: false,
+        })
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Returns an encode error for unrepresentable addresses, or an I/O
+    /// error from the underlying writer.
+    pub fn write_record(&mut self, record: &TraceRecord) -> Result<(), TraceError> {
+        let word = record.encode()?;
+        self.inner.write_all(&word.to_le_bytes())?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Appends the trace-relevant fields of a live transaction.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TraceWriter::write_record`].
+    pub fn write_transaction(&mut self, txn: &Transaction) -> Result<(), TraceError> {
+        self.write_record(&TraceRecord::from_transaction(txn))
+    }
+
+    /// Number of records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes buffered data and returns the record count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush failures.
+    pub fn finish(mut self) -> Result<u64, TraceError> {
+        self.inner.flush()?;
+        self.finished = true;
+        Ok(self.written)
+    }
+}
+
+impl<W: Write> Drop for TraceWriter<W> {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = self.inner.flush();
+        }
+    }
+}
+
+/// Reads a trace stream produced by [`TraceWriter`].
+///
+/// Implements [`Iterator`] over `Result<TraceRecord, TraceError>`; a
+/// truncated final record surfaces as [`TraceError::TruncatedRecord`].
+/// Pass `&mut reader` if you need the underlying reader afterwards.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    inner: BufReader<R>,
+    read: u64,
+    fused: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Creates a reader, validating the stream header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::BadMagic`] / [`TraceError::BadVersion`] for a
+    /// foreign or newer-format stream, or an I/O error.
+    pub fn new(reader: R) -> Result<Self, TraceError> {
+        let mut inner = BufReader::new(reader);
+        let mut magic = [0u8; 4];
+        inner.read_exact(&mut magic)?;
+        if magic != TRACE_MAGIC {
+            return Err(TraceError::BadMagic { found: magic });
+        }
+        let mut ver = [0u8; 2];
+        inner.read_exact(&mut ver)?;
+        let version = u16::from_le_bytes(ver);
+        if version != TRACE_VERSION {
+            return Err(TraceError::BadVersion { found: version });
+        }
+        let mut reserved = [0u8; 2];
+        inner.read_exact(&mut reserved)?;
+        Ok(TraceReader {
+            inner,
+            read: 0,
+            fused: false,
+        })
+    }
+
+    /// Number of records successfully read so far.
+    pub fn records_read(&self) -> u64 {
+        self.read
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<TraceRecord, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.fused {
+            return None;
+        }
+        let mut buf = [0u8; 8];
+        let mut filled = 0;
+        while filled < 8 {
+            match self.inner.read(&mut buf[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.fused = true;
+                    return Some(Err(TraceError::Io(e)));
+                }
+            }
+        }
+        match filled {
+            0 => {
+                self.fused = true;
+                None
+            }
+            8 => {
+                let word = u64::from_le_bytes(buf);
+                let idx = self.read;
+                self.read += 1;
+                match TraceRecord::decode(word, idx) {
+                    Ok(rec) => Some(Ok(rec)),
+                    Err(e) => {
+                        self.fused = true;
+                        Some(Err(e))
+                    }
+                }
+            }
+            _ => {
+                self.fused = true;
+                Some(Err(TraceError::TruncatedRecord { record: self.read }))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memories_bus::{Address, BusOp, ProcId, SnoopResponse};
+
+    fn records(n: u64) -> Vec<TraceRecord> {
+        (0..n)
+            .map(|i| {
+                TraceRecord::new(
+                    BusOp::ALL[(i % BusOp::ALL.len() as u64) as usize],
+                    ProcId::new((i % 8) as u8),
+                    SnoopResponse::Null,
+                    Address::new(i * 128),
+                )
+            })
+            .collect()
+    }
+
+    fn write_all(recs: &[TraceRecord]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf).unwrap();
+        for r in recs {
+            w.write_record(r).unwrap();
+        }
+        assert_eq!(w.finish().unwrap(), recs.len() as u64);
+        buf
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let recs = records(100);
+        let buf = write_all(&recs);
+        let reader = TraceReader::new(buf.as_slice()).unwrap();
+        let back: Vec<TraceRecord> = reader.map(|r| r.unwrap()).collect();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let buf = write_all(&[]);
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        assert!(reader.next().is_none());
+        assert_eq!(reader.records_read(), 0);
+    }
+
+    #[test]
+    fn detects_bad_magic_and_version() {
+        let err = TraceReader::new(&b"JUNKxxxx"[..]).unwrap_err();
+        assert!(matches!(err, TraceError::BadMagic { .. }));
+
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&TRACE_MAGIC);
+        buf.extend_from_slice(&99u16.to_le_bytes());
+        buf.extend_from_slice(&[0, 0]);
+        let err = TraceReader::new(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceError::BadVersion { found: 99 }));
+    }
+
+    #[test]
+    fn detects_truncated_record() {
+        let mut buf = write_all(&records(2));
+        buf.truncate(buf.len() - 3);
+        let reader = TraceReader::new(buf.as_slice()).unwrap();
+        let results: Vec<_> = reader.collect();
+        assert_eq!(results.len(), 2);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(TraceError::TruncatedRecord { record: 1 })
+        ));
+    }
+
+    #[test]
+    fn reader_fuses_after_error() {
+        let mut buf = write_all(&records(1));
+        buf.push(0xff); // partial second record
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        assert!(reader.next().unwrap().is_ok());
+        assert!(reader.next().unwrap().is_err());
+        assert!(reader.next().is_none());
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn header_is_eight_bytes() {
+        let buf = write_all(&[]);
+        assert_eq!(buf.len(), 8);
+        let recs = records(5);
+        let buf = write_all(&recs);
+        assert_eq!(buf.len(), 8 + 5 * 8);
+    }
+}

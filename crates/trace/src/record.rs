@@ -1,0 +1,219 @@
+//! The packed 8-byte trace record.
+
+use std::fmt;
+
+use memories_bus::{Address, BusOp, ProcId, SnoopResponse, Transaction};
+
+use crate::error::TraceError;
+
+/// One bus reference, exactly 8 bytes when encoded — the record width the
+/// MemorIES board stores in its on-board SDRAM (§2.3).
+///
+/// Bit layout of the encoded `u64` (LSB 0):
+///
+/// ```text
+/// [63:60] op        (4 bits,  BusOp::index)
+/// [59:54] proc      (6 bits,  requester id)
+/// [53:52] resp      (2 bits,  combined snoop response)
+/// [51:0]  addr >> 3 (52 bits, 8-byte-aligned address, max 2^55 bytes)
+/// ```
+///
+/// Bus addresses are line-aligned in practice, so the 8-byte alignment
+/// requirement loses nothing; unaligned addresses are rejected at encode
+/// time rather than silently truncated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceRecord {
+    /// Bus command.
+    pub op: BusOp,
+    /// Requester id.
+    pub proc: ProcId,
+    /// Combined snoop response.
+    pub resp: SnoopResponse,
+    /// Referenced physical address (8-byte aligned).
+    pub addr: Address,
+}
+
+const ADDR_BITS: u32 = 52;
+const ADDR_MASK: u64 = (1 << ADDR_BITS) - 1;
+
+impl TraceRecord {
+    /// Creates a record from its fields.
+    pub fn new(op: BusOp, proc: ProcId, resp: SnoopResponse, addr: Address) -> Self {
+        TraceRecord {
+            op,
+            proc,
+            resp,
+            addr,
+        }
+    }
+
+    /// Extracts the trace-relevant fields of a live bus transaction.
+    pub fn from_transaction(txn: &Transaction) -> Self {
+        TraceRecord {
+            op: txn.op,
+            proc: txn.proc,
+            resp: txn.resp,
+            addr: txn.addr,
+        }
+    }
+
+    /// Reconstructs a [`Transaction`] for replay, assigning the given
+    /// sequence number and cycle.
+    pub fn to_transaction(self, seq: u64, cycle: u64) -> Transaction {
+        Transaction::new(seq, cycle, self.proc, self.op, self.addr, self.resp)
+    }
+
+    /// Packs the record into 8 bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::UnrepresentableAddress`] if the address is not
+    /// 8-byte aligned or exceeds 55 bits.
+    pub fn encode(&self) -> Result<u64, TraceError> {
+        let a = self.addr.value();
+        if !a.is_multiple_of(8) || (a >> 3) > ADDR_MASK {
+            return Err(TraceError::UnrepresentableAddress { addr: a });
+        }
+        let resp = match self.resp {
+            SnoopResponse::Null => 0u64,
+            SnoopResponse::Shared => 1,
+            SnoopResponse::Modified => 2,
+            SnoopResponse::Retry => 3,
+        };
+        Ok(((self.op.index() as u64) << 60)
+            | ((self.proc.index() as u64) << 54)
+            | (resp << 52)
+            | (a >> 3))
+    }
+
+    /// Unpacks a record encoded by [`TraceRecord::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Corrupt`] if the operation nibble is not a
+    /// valid [`BusOp`] index. `record_index` is used only for the error.
+    pub fn decode(word: u64, record_index: u64) -> Result<Self, TraceError> {
+        let op = BusOp::from_index((word >> 60) as usize).ok_or(TraceError::Corrupt {
+            record: record_index,
+            detail: "invalid op nibble",
+        })?;
+        let proc_raw = ((word >> 54) & 0x3f) as u8;
+        let resp = match (word >> 52) & 0x3 {
+            0 => SnoopResponse::Null,
+            1 => SnoopResponse::Shared,
+            2 => SnoopResponse::Modified,
+            _ => SnoopResponse::Retry,
+        };
+        let addr = Address::new((word & ADDR_MASK) << 3);
+        Ok(TraceRecord {
+            op,
+            proc: ProcId::new(proc_raw),
+            resp,
+            addr,
+        })
+    }
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} -> {}",
+            self.proc, self.op, self.addr, self.resp
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceRecord {
+        TraceRecord::new(
+            BusOp::Rwitm,
+            ProcId::new(11),
+            SnoopResponse::Modified,
+            Address::new(0x0012_3456_7880),
+        )
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let r = sample();
+        let word = r.encode().unwrap();
+        assert_eq!(TraceRecord::decode(word, 0).unwrap(), r);
+    }
+
+    #[test]
+    fn roundtrip_all_ops_and_responses() {
+        for op in BusOp::ALL {
+            for resp in [
+                SnoopResponse::Null,
+                SnoopResponse::Shared,
+                SnoopResponse::Modified,
+                SnoopResponse::Retry,
+            ] {
+                let r = TraceRecord::new(op, ProcId::new(7), resp, Address::new(0x1000));
+                let back = TraceRecord::decode(r.encode().unwrap(), 0).unwrap();
+                assert_eq!(back, r);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_unaligned_and_oversized_addresses() {
+        let r = TraceRecord::new(
+            BusOp::Read,
+            ProcId::new(0),
+            SnoopResponse::Null,
+            Address::new(4),
+        );
+        assert!(matches!(
+            r.encode(),
+            Err(TraceError::UnrepresentableAddress { addr: 4 })
+        ));
+
+        let big = TraceRecord::new(
+            BusOp::Read,
+            ProcId::new(0),
+            SnoopResponse::Null,
+            Address::new(1 << 56),
+        );
+        assert!(big.encode().is_err());
+
+        // 2^55 - 8 is the largest representable address.
+        let max = TraceRecord::new(
+            BusOp::Read,
+            ProcId::new(0),
+            SnoopResponse::Null,
+            Address::new((1u64 << 55) - 8),
+        );
+        let back = TraceRecord::decode(max.encode().unwrap(), 0).unwrap();
+        assert_eq!(back.addr, max.addr);
+    }
+
+    #[test]
+    fn rejects_invalid_op_nibble() {
+        // op nibble 15 is unused (only 11 ops).
+        let word = 15u64 << 60;
+        assert!(matches!(
+            TraceRecord::decode(word, 42),
+            Err(TraceError::Corrupt { record: 42, .. })
+        ));
+    }
+
+    #[test]
+    fn transaction_conversion_preserves_fields() {
+        let txn = Transaction::new(
+            9,
+            1234,
+            ProcId::new(3),
+            BusOp::WriteBack,
+            Address::new(0x2000),
+            SnoopResponse::Null,
+        );
+        let rec = TraceRecord::from_transaction(&txn);
+        let back = rec.to_transaction(9, 1234);
+        assert_eq!(back, txn);
+    }
+}

@@ -1,0 +1,190 @@
+//! Quick trace profiles.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use memories_bus::{BusOp, ProcId};
+
+use crate::record::TraceRecord;
+
+/// Aggregate statistics of a trace: per-operation and per-requester counts
+/// plus the unique-line footprint at a chosen granularity.
+///
+/// # Examples
+///
+/// ```
+/// use memories_bus::{Address, BusOp, ProcId, SnoopResponse};
+/// use memories_trace::{TraceRecord, TraceStats};
+///
+/// let mut stats = TraceStats::new(128);
+/// stats.record(&TraceRecord::new(BusOp::Read, ProcId::new(0),
+///                                SnoopResponse::Null, Address::new(0)));
+/// stats.record(&TraceRecord::new(BusOp::Read, ProcId::new(1),
+///                                SnoopResponse::Null, Address::new(64)));
+/// assert_eq!(stats.total(), 2);
+/// assert_eq!(stats.unique_lines(), 1); // same 128-byte line
+/// ```
+#[derive(Clone, Debug)]
+pub struct TraceStats {
+    line_size: u64,
+    total: u64,
+    by_op: [u64; BusOp::ALL.len()],
+    by_proc: Vec<u64>,
+    lines: HashSet<u64>,
+}
+
+impl TraceStats {
+    /// Creates empty statistics using `line_size` bytes as the footprint
+    /// granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is not a power of two.
+    pub fn new(line_size: u64) -> Self {
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        TraceStats {
+            line_size,
+            total: 0,
+            by_op: [0; BusOp::ALL.len()],
+            by_proc: vec![0; ProcId::MAX_IDS],
+            lines: HashSet::new(),
+        }
+    }
+
+    /// Accumulates one record.
+    pub fn record(&mut self, rec: &TraceRecord) {
+        self.total += 1;
+        self.by_op[rec.op.index()] += 1;
+        self.by_proc[rec.proc.index()] += 1;
+        self.lines.insert(rec.addr.value() / self.line_size);
+    }
+
+    /// Accumulates every record of an iterator.
+    pub fn extend<I: IntoIterator<Item = TraceRecord>>(&mut self, records: I) {
+        for r in records {
+            self.record(&r);
+        }
+    }
+
+    /// Total records seen.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Records of one operation kind.
+    pub fn count(&self, op: BusOp) -> u64 {
+        self.by_op[op.index()]
+    }
+
+    /// Records issued by one requester.
+    pub fn count_by_proc(&self, proc: ProcId) -> u64 {
+        self.by_proc[proc.index()]
+    }
+
+    /// Number of distinct lines touched.
+    pub fn unique_lines(&self) -> u64 {
+        self.lines.len() as u64
+    }
+
+    /// Touched footprint in bytes (unique lines x line size).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.unique_lines() * self.line_size
+    }
+
+    /// Fraction of records that are store-class operations.
+    pub fn write_fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let writes: u64 = BusOp::ALL
+            .iter()
+            .filter(|op| op.is_store_class())
+            .map(|op| self.count(*op))
+            .sum();
+        writes as f64 / self.total as f64
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace: {} records, {} unique lines ({} bytes footprint)",
+            self.total,
+            self.unique_lines(),
+            self.footprint_bytes()
+        )?;
+        for op in BusOp::ALL {
+            let n = self.count(op);
+            if n > 0 {
+                writeln!(f, "  {:>8}: {}", op.mnemonic(), n)?;
+            }
+        }
+        write!(f, "  write fraction: {:.3}", self.write_fraction())
+    }
+}
+
+impl FromIterator<TraceRecord> for TraceStats {
+    fn from_iter<I: IntoIterator<Item = TraceRecord>>(iter: I) -> Self {
+        let mut stats = TraceStats::new(128);
+        stats.extend(iter);
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memories_bus::{Address, SnoopResponse};
+
+    fn rec(op: BusOp, proc: u8, addr: u64) -> TraceRecord {
+        TraceRecord::new(
+            op,
+            ProcId::new(proc),
+            SnoopResponse::Null,
+            Address::new(addr),
+        )
+    }
+
+    #[test]
+    fn counts_and_footprint() {
+        let mut s = TraceStats::new(128);
+        s.record(&rec(BusOp::Read, 0, 0));
+        s.record(&rec(BusOp::Read, 1, 64)); // same line
+        s.record(&rec(BusOp::Rwitm, 0, 128)); // next line
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.count(BusOp::Read), 2);
+        assert_eq!(s.count(BusOp::Rwitm), 1);
+        assert_eq!(s.count_by_proc(ProcId::new(0)), 2);
+        assert_eq!(s.unique_lines(), 2);
+        assert_eq!(s.footprint_bytes(), 256);
+    }
+
+    #[test]
+    fn write_fraction() {
+        let mut s = TraceStats::new(128);
+        s.record(&rec(BusOp::Read, 0, 0));
+        s.record(&rec(BusOp::Rwitm, 0, 128));
+        s.record(&rec(BusOp::DClaim, 0, 256));
+        s.record(&rec(BusOp::Read, 0, 384));
+        assert!((s.write_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(TraceStats::new(128).write_fraction(), 0.0);
+    }
+
+    #[test]
+    fn from_iterator_uses_default_line_size() {
+        let s: TraceStats = vec![rec(BusOp::Read, 0, 0), rec(BusOp::Read, 0, 8)]
+            .into_iter()
+            .collect();
+        assert_eq!(s.unique_lines(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_line() {
+        let _ = TraceStats::new(100);
+    }
+}

@@ -1,0 +1,213 @@
+//! Trace windowing for trace-length studies.
+//!
+//! Case Study 1 of the paper compares cache statistics computed over short
+//! trace prefixes ("20 million references") with full-length traces ("10
+//! billion references") and shows the short ones mislead. These adapters
+//! carve windows out of any record iterator so the same study can be run
+//! over in-memory or on-disk traces.
+
+use crate::record::TraceRecord;
+
+/// A half-open record-index window `[start, end)` of a trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Window {
+    /// First record index included.
+    pub start: u64,
+    /// First record index excluded.
+    pub end: u64,
+}
+
+impl Window {
+    /// A window covering the first `len` records.
+    pub const fn prefix(len: u64) -> Self {
+        Window { start: 0, end: len }
+    }
+
+    /// A window of `len` records starting at `start`.
+    pub const fn at(start: u64, len: u64) -> Self {
+        Window {
+            start,
+            end: start + len,
+        }
+    }
+
+    /// Number of records in the window.
+    pub const fn len(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the window contains no records.
+    pub const fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// Whether a record index falls inside the window.
+    pub const fn contains(&self, index: u64) -> bool {
+        index >= self.start && index < self.end
+    }
+}
+
+/// Restricts an iterator of records to a [`Window`].
+///
+/// Works over both infallible record iterators and `Result` streams via
+/// [`windowed`] / [`windowed_results`].
+#[derive(Debug)]
+pub struct Windowed<I> {
+    inner: I,
+    index: u64,
+    window: Window,
+}
+
+/// Applies `window` to an infallible record iterator.
+///
+/// # Examples
+///
+/// ```
+/// use memories_bus::{Address, BusOp, ProcId, SnoopResponse};
+/// use memories_trace::{window::{windowed, Window}, TraceRecord};
+///
+/// let recs: Vec<TraceRecord> = (0..10)
+///     .map(|i| TraceRecord::new(BusOp::Read, ProcId::new(0),
+///                               SnoopResponse::Null, Address::new(i * 8)))
+///     .collect();
+/// let slice: Vec<_> = windowed(recs.into_iter(), Window::at(2, 3)).collect();
+/// assert_eq!(slice.len(), 3);
+/// assert_eq!(slice[0].addr.value(), 16);
+/// ```
+pub fn windowed<I: Iterator<Item = TraceRecord>>(inner: I, window: Window) -> Windowed<I> {
+    Windowed {
+        inner,
+        index: 0,
+        window,
+    }
+}
+
+impl<I: Iterator<Item = TraceRecord>> Iterator for Windowed<I> {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        loop {
+            if self.index >= self.window.end {
+                return None;
+            }
+            let rec = self.inner.next()?;
+            let idx = self.index;
+            self.index += 1;
+            if self.window.contains(idx) {
+                return Some(rec);
+            }
+        }
+    }
+}
+
+/// Applies `window` to a fallible record stream (e.g. a
+/// [`TraceReader`](crate::TraceReader)); errors pass through immediately.
+pub fn windowed_results<E, I>(inner: I, window: Window) -> WindowedResults<I>
+where
+    I: Iterator<Item = Result<TraceRecord, E>>,
+{
+    WindowedResults {
+        inner,
+        index: 0,
+        window,
+    }
+}
+
+/// Iterator returned by [`windowed_results`].
+#[derive(Debug)]
+pub struct WindowedResults<I> {
+    inner: I,
+    index: u64,
+    window: Window,
+}
+
+impl<E, I> Iterator for WindowedResults<I>
+where
+    I: Iterator<Item = Result<TraceRecord, E>>,
+{
+    type Item = Result<TraceRecord, E>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.index >= self.window.end {
+                return None;
+            }
+            match self.inner.next()? {
+                Err(e) => return Some(Err(e)),
+                Ok(rec) => {
+                    let idx = self.index;
+                    self.index += 1;
+                    if self.window.contains(idx) {
+                        return Some(Ok(rec));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memories_bus::{Address, BusOp, ProcId, SnoopResponse};
+
+    fn recs(n: u64) -> Vec<TraceRecord> {
+        (0..n)
+            .map(|i| {
+                TraceRecord::new(
+                    BusOp::Read,
+                    ProcId::new(0),
+                    SnoopResponse::Null,
+                    Address::new(i * 8),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn window_arithmetic() {
+        let w = Window::prefix(5);
+        assert_eq!(w.len(), 5);
+        assert!(w.contains(0));
+        assert!(w.contains(4));
+        assert!(!w.contains(5));
+        assert!(!Window::at(3, 0).contains(3));
+        assert!(Window::at(3, 0).is_empty());
+        assert_eq!(Window::at(10, 4).len(), 4);
+    }
+
+    #[test]
+    fn prefix_window_takes_first_records() {
+        let out: Vec<_> = windowed(recs(10).into_iter(), Window::prefix(3)).collect();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[2].addr.value(), 16);
+    }
+
+    #[test]
+    fn middle_window_skips_and_stops() {
+        let out: Vec<_> = windowed(recs(10).into_iter(), Window::at(4, 2)).collect();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].addr.value(), 32);
+        assert_eq!(out[1].addr.value(), 40);
+    }
+
+    #[test]
+    fn window_larger_than_trace_is_truncated() {
+        let out: Vec<_> = windowed(recs(3).into_iter(), Window::prefix(100)).collect();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn windowed_results_passes_errors_through() {
+        let items: Vec<Result<TraceRecord, &str>> =
+            vec![Ok(recs(1)[0]), Err("boom"), Ok(recs(1)[0])];
+        let out: Vec<_> = windowed_results(items.into_iter(), Window::prefix(1)).collect();
+        // First Ok consumed (index 0), window exhausted before the error.
+        assert_eq!(out.len(), 1);
+        assert!(out[0].is_ok());
+
+        let items: Vec<Result<TraceRecord, &str>> = vec![Err("boom"), Ok(recs(1)[0])];
+        let out: Vec<_> = windowed_results(items.into_iter(), Window::prefix(1)).collect();
+        assert!(out[0].is_err());
+    }
+}

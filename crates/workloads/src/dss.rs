@@ -1,0 +1,296 @@
+//! A TPC-H-like decision-support (DSS) workload generator.
+//!
+//! TPC-H in the paper is a 100 GB database driven for 10^10–4×10^11
+//! references (Figure 8, right). DSS traffic is scan-dominated, but a
+//! real schema is not one giant table: queries sweep the huge fact table
+//! *and* repeatedly re-scan a hierarchy of much smaller dimension tables,
+//! probe hash-join tables, and keep small hot aggregation state. The
+//! table-size hierarchy is what gives larger caches a progressive
+//! benefit: each doubling of cache captures the next dimension table's
+//! re-scans.
+
+use memories_bus::Address;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::event::{MemRef, RefKind, WorkloadEvent};
+use crate::Workload;
+
+/// DSS generator parameters.
+#[derive(Clone, Debug)]
+pub struct DssConfig {
+    /// Processors driven.
+    pub cpus: usize,
+    /// Total scanned table bytes (the paper's runs: 100 GB, scaled
+    /// down). Split into `table_count` tables of doubling size, smallest
+    /// first — the dimension-to-fact hierarchy.
+    pub table_bytes: u64,
+    /// Number of tables in the doubling hierarchy.
+    pub table_count: usize,
+    /// Hash-join probe table bytes (random access).
+    pub hash_bytes: u64,
+    /// Per-CPU aggregation state (hot).
+    pub agg_bytes_per_cpu: u64,
+    /// Fraction of references that probe the hash table.
+    pub hash_fraction: f64,
+    /// Fraction of references that touch aggregation state.
+    pub agg_fraction: f64,
+    /// Instructions per memory reference.
+    pub instructions_per_ref: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DssConfig {
+    /// Scaled-down defaults: 126 MB of tables (2–64 MB doubling), 16 MB
+    /// hash table, 8 CPUs.
+    pub fn scaled_default() -> Self {
+        DssConfig {
+            cpus: 8,
+            table_bytes: 126 << 20,
+            table_count: 6,
+            hash_bytes: 16 << 20,
+            agg_bytes_per_cpu: 64 << 10,
+            hash_fraction: 0.25,
+            agg_fraction: 0.15,
+            instructions_per_ref: 5,
+            seed: 0xD55_D55,
+        }
+    }
+
+    /// The paper-scale shape (~100 GB of tables).
+    pub fn paper_scale() -> Self {
+        DssConfig {
+            table_bytes: 100 << 30,
+            hash_bytes: 4 << 30,
+            ..DssConfig::scaled_default()
+        }
+    }
+
+    /// The byte sizes of the doubling table hierarchy (smallest first);
+    /// sums to `table_bytes` (up to rounding).
+    pub fn table_sizes(&self) -> Vec<u64> {
+        let denom = (1u64 << self.table_count) - 1;
+        (0..self.table_count)
+            .map(|i| self.table_bytes * (1 << i) / denom)
+            .collect()
+    }
+}
+
+/// The TPC-H-like generator. See [`DssConfig`].
+#[derive(Clone, Debug)]
+pub struct DssWorkload {
+    config: DssConfig,
+    tables: Vec<u64>,
+    table_bases: Vec<u64>,
+    rng: SmallRng,
+    cpu: usize,
+    tick_next: bool,
+    /// Per-CPU, per-table scan cursors (byte offset within the slice).
+    scans: Vec<Vec<u64>>,
+}
+
+impl DssWorkload {
+    /// Builds the generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes, table count, or CPU count are zero, or fractions
+    /// exceed 1.
+    pub fn new(config: DssConfig) -> Self {
+        assert!(config.cpus > 0 && config.table_bytes > 0 && config.hash_bytes > 0);
+        assert!(config.table_count > 0 && config.table_count < 16);
+        assert!(config.hash_fraction + config.agg_fraction <= 1.0);
+        let tables = config.table_sizes();
+        let mut table_bases = Vec::with_capacity(tables.len());
+        let mut base = 0;
+        for t in &tables {
+            table_bases.push(base);
+            base += t;
+        }
+        DssWorkload {
+            rng: SmallRng::seed_from_u64(config.seed),
+            scans: vec![vec![0; tables.len()]; config.cpus],
+            tables,
+            table_bases,
+            config,
+            cpu: 0,
+            tick_next: true,
+        }
+    }
+
+    fn scans_base(&self) -> u64 {
+        self.table_bases.last().unwrap() + self.tables.last().unwrap()
+    }
+}
+
+impl Workload for DssWorkload {
+    fn name(&self) -> &str {
+        "tpch"
+    }
+
+    fn num_cpus(&self) -> usize {
+        self.config.cpus
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.scans_base()
+            + self.config.hash_bytes
+            + self.config.agg_bytes_per_cpu * self.config.cpus as u64
+    }
+
+    fn next_event(&mut self) -> WorkloadEvent {
+        if self.tick_next {
+            self.tick_next = false;
+            return WorkloadEvent::Instructions {
+                cpu: self.cpu,
+                count: self.config.instructions_per_ref,
+            };
+        }
+        self.tick_next = true;
+        let cpu = self.cpu;
+        self.cpu = (self.cpu + 1) % self.config.cpus;
+
+        let hash_base = self.scans_base();
+        let agg_base = hash_base + self.config.hash_bytes;
+
+        let roll: f64 = self.rng.random();
+        let r = if roll < self.config.hash_fraction {
+            // Hash probe: uniform random, read-mostly.
+            let within = self.rng.random_range(0..self.config.hash_bytes) & !7;
+            let addr = Address::new(hash_base + within);
+            if self.rng.random_bool(0.1) {
+                MemRef::store(cpu, addr)
+            } else {
+                MemRef::load(cpu, addr)
+            }
+        } else if roll < self.config.hash_fraction + self.config.agg_fraction {
+            // Aggregation state: hot, read/write.
+            let base = agg_base + cpu as u64 * self.config.agg_bytes_per_cpu;
+            let within = self.rng.random_range(0..self.config.agg_bytes_per_cpu) & !7;
+            let addr = Address::new(base + within);
+            if self.rng.random_bool(0.5) {
+                MemRef::store(cpu, addr)
+            } else {
+                MemRef::load(cpu, addr)
+            }
+        } else {
+            // Sequential scan step on a table chosen with equal time
+            // share: each table receives ~1/table_count of the scan
+            // references, so a small dimension table's lines are
+            // re-scanned after proportionally little intervening traffic
+            // — a cache that holds a few times its size captures it.
+            let table = self.rng.random_range(0..self.tables.len());
+            let slice = (self.tables[table] / self.config.cpus as u64).max(8);
+            let off = self.scans[cpu][table] % slice;
+            self.scans[cpu][table] = off + 8;
+            let addr = Address::new(self.table_bases[table] + cpu as u64 * slice + off);
+            MemRef {
+                cpu,
+                kind: RefKind::Load,
+                addr,
+            }
+        };
+        WorkloadEvent::Ref(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadExt;
+
+    fn small() -> DssConfig {
+        DssConfig {
+            cpus: 4,
+            table_bytes: 63 << 10, // tables of 1,2,4,8,16,32 KB
+            table_count: 6,
+            hash_bytes: 256 << 10,
+            agg_bytes_per_cpu: 16 << 10,
+            hash_fraction: 0.2,
+            agg_fraction: 0.15,
+            instructions_per_ref: 5,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn table_hierarchy_doubles_and_sums() {
+        let sizes = small().table_sizes();
+        assert_eq!(sizes.len(), 6);
+        for w in sizes.windows(2) {
+            assert_eq!(w[1], w[0] * 2);
+        }
+        assert_eq!(sizes.iter().sum::<u64>(), 63 << 10);
+    }
+
+    #[test]
+    fn deterministic_and_in_footprint() {
+        let mut a = DssWorkload::new(small());
+        let mut b = DssWorkload::new(small());
+        let ra: Vec<WorkloadEvent> = a.events().take(1000).collect();
+        let rb: Vec<WorkloadEvent> = b.events().take(1000).collect();
+        assert_eq!(ra, rb);
+        let fp = a.footprint_bytes();
+        for e in &ra {
+            if let Some(r) = e.as_ref_event() {
+                assert!(
+                    r.addr.value() < fp,
+                    "address {} beyond footprint {fp}",
+                    r.addr
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_tables_are_rescanned_more_often() {
+        let mut w = DssWorkload::new(small());
+        let sizes = small().table_sizes();
+        let mut per_table = vec![0u64; sizes.len()];
+        for e in w.events().take(60_000) {
+            if let Some(r) = e.as_ref_event() {
+                let a = r.addr.value();
+                if a < 63 << 10 {
+                    let mut base = 0;
+                    for (i, s) in sizes.iter().enumerate() {
+                        if a < base + s {
+                            per_table[i] += 1;
+                            break;
+                        }
+                        base += s;
+                    }
+                }
+            }
+        }
+        // Roughly equal scan *time* per table means the smallest table is
+        // re-scanned ~32x more often per byte.
+        let density_small = per_table[0] as f64 / sizes[0] as f64;
+        let density_big = per_table[5] as f64 / sizes[5] as f64;
+        assert!(
+            density_small > 4.0 * density_big,
+            "densities {density_small:.4} vs {density_big:.4}"
+        );
+    }
+
+    #[test]
+    fn write_fraction_is_low() {
+        let mut w = DssWorkload::new(small());
+        let stores = w
+            .events()
+            .filter_map(|e| e.as_ref_event().copied())
+            .take(4000)
+            .filter(|r| r.kind.is_store())
+            .count();
+        assert!(
+            stores < 800,
+            "stores {stores} of 4000 — DSS should be read-mostly"
+        );
+    }
+
+    #[test]
+    fn paper_scale_footprint_exceeds_100gb() {
+        let w = DssWorkload::new(DssConfig::paper_scale());
+        assert!(w.footprint_bytes() > 100u64 << 30);
+    }
+}

@@ -1,0 +1,137 @@
+//! Workload event vocabulary.
+
+use std::fmt;
+
+use memories_bus::Address;
+
+/// Load or store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RefKind {
+    /// A read reference.
+    Load,
+    /// A write reference.
+    Store,
+}
+
+impl RefKind {
+    /// Whether this is a store.
+    pub const fn is_store(self) -> bool {
+        matches!(self, RefKind::Store)
+    }
+}
+
+impl fmt::Display for RefKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RefKind::Load => "load",
+            RefKind::Store => "store",
+        })
+    }
+}
+
+/// One processor memory reference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Index of the issuing processor (0-based).
+    pub cpu: usize,
+    /// Load or store.
+    pub kind: RefKind,
+    /// The referenced byte address.
+    pub addr: Address,
+}
+
+impl MemRef {
+    /// Creates a load reference.
+    pub fn load(cpu: usize, addr: Address) -> Self {
+        MemRef {
+            cpu,
+            kind: RefKind::Load,
+            addr,
+        }
+    }
+
+    /// Creates a store reference.
+    pub fn store(cpu: usize, addr: Address) -> Self {
+        MemRef {
+            cpu,
+            kind: RefKind::Store,
+            addr,
+        }
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{} {} {}", self.cpu, self.kind, self.addr)
+    }
+}
+
+/// One event of a workload stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WorkloadEvent {
+    /// A processor memory reference.
+    Ref(MemRef),
+    /// `count` instructions retired on `cpu` with no memory reference
+    /// (drives the machine clock and the misses-per-instruction metrics).
+    Instructions {
+        /// The executing processor.
+        cpu: usize,
+        /// Instructions retired.
+        count: u64,
+    },
+    /// Inbound DMA traffic from the I/O bridge.
+    Dma {
+        /// Write (true) or read (false).
+        write: bool,
+        /// The referenced byte address.
+        addr: Address,
+    },
+}
+
+impl WorkloadEvent {
+    /// The memory reference, if this event is one.
+    pub fn as_ref_event(&self) -> Option<&MemRef> {
+        match self {
+            WorkloadEvent::Ref(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Whether this event is a processor memory reference.
+    pub fn is_ref(&self) -> bool {
+        matches!(self, WorkloadEvent::Ref(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let r = MemRef::load(3, Address::new(0x40));
+        assert_eq!(r.kind, RefKind::Load);
+        assert!(!r.kind.is_store());
+        let w = MemRef::store(1, Address::new(0x80));
+        assert!(w.kind.is_store());
+
+        let e = WorkloadEvent::Ref(r);
+        assert!(e.is_ref());
+        assert_eq!(e.as_ref_event(), Some(&r));
+        assert!(!WorkloadEvent::Instructions { cpu: 0, count: 1 }.is_ref());
+        assert_eq!(
+            WorkloadEvent::Dma {
+                write: true,
+                addr: Address::new(0)
+            }
+            .as_ref_event(),
+            None
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        let r = MemRef::store(2, Address::new(0x100));
+        assert_eq!(r.to_string(), "cpu2 store 0x100");
+    }
+}

@@ -1,0 +1,254 @@
+//! The Barnes-Hut kernel: N-body tree walks.
+//!
+//! SPLASH2's Barnes builds an octree over the bodies each timestep, then
+//! computes forces by walking the tree per body: the walk touches nodes
+//! near the root constantly (hot, read-shared by every processor) and
+//! leaf regions with probability falling off with depth. Body updates are
+//! private sequential writes. Sharing is therefore read-mostly on a
+//! Zipf-like hot set — more than Ocean, much less write-shared than FMM.
+
+use memories_bus::Address;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::event::MemRef;
+use crate::splash::Sched;
+use crate::zipf::ZipfSampler;
+use crate::{Workload, WorkloadEvent};
+
+/// Bytes per body (positions, velocities, forces). With the tree
+/// overhead below this reproduces Table 5's 3.1 GB at 16 M bodies.
+const BODY_BYTES: u64 = 120;
+/// Tree node bytes; roughly one node per two bodies.
+const NODE_BYTES: u64 = 156;
+
+/// Phase of a timestep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// (Re)building the tree: bodies inserted, nodes written.
+    Build,
+    /// Force computation: per body, a Zipf-skewed tree walk.
+    Force,
+    /// Integration: sequential private body updates.
+    Update,
+}
+
+/// The Barnes-Hut access-pattern kernel. See the
+/// [module docs](crate::splash).
+#[derive(Clone, Debug)]
+pub struct Barnes {
+    sched: Sched,
+    bodies: u64,
+    phase: Phase,
+    cursors: Vec<u64>,
+    done: u64,
+    /// Remaining tree-node reads for the current body's walk.
+    walk_left: Vec<u8>,
+    zipf: ZipfSampler,
+    rng: SmallRng,
+}
+
+impl Barnes {
+    /// The paper's size: 16 M bodies.
+    pub fn paper_size(cpus: usize, instr_per_ref: u64) -> Self {
+        Barnes::scaled(cpus, 16 << 20, instr_per_ref)
+    }
+
+    /// A scaled instance over `bodies` bodies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bodies < cpus` or `cpus` is zero.
+    pub fn scaled(cpus: usize, bodies: u64, instr_per_ref: u64) -> Self {
+        assert!(bodies >= cpus as u64, "need at least one body per cpu");
+        let nodes = (bodies / 2).max(1);
+        Barnes {
+            sched: Sched::new(cpus, instr_per_ref),
+            bodies,
+            phase: Phase::Build,
+            cursors: vec![0; cpus],
+            done: 0,
+            walk_left: vec![0; cpus],
+            zipf: ZipfSampler::new(nodes, 0.7),
+            rng: SmallRng::seed_from_u64(0xBA41E5),
+        }
+    }
+
+    /// Number of bodies.
+    pub fn bodies(&self) -> u64 {
+        self.bodies
+    }
+
+    /// Instruction-count work model: the force phase dominates at
+    /// ~`w · n log n`; `w` folds in the timestep count and is calibrated
+    /// so the paper-size run reproduces Table 5's 2021 s on the S7A host
+    /// model.
+    pub fn estimated_instructions(&self) -> u64 {
+        let logn = 64 - self.bodies.leading_zeros() as u64;
+        6_900 * self.bodies * logn
+    }
+
+    fn body_base(&self) -> u64 {
+        0
+    }
+
+    fn tree_base(&self) -> u64 {
+        self.bodies * BODY_BYTES
+    }
+
+    fn advance_phase(&mut self) {
+        self.phase = match self.phase {
+            Phase::Build => Phase::Force,
+            Phase::Force => Phase::Update,
+            Phase::Update => Phase::Build,
+        };
+        self.done = 0;
+        self.cursors.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+impl Workload for Barnes {
+    fn name(&self) -> &str {
+        "barnes"
+    }
+
+    fn num_cpus(&self) -> usize {
+        self.sched.cpus
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.bodies * BODY_BYTES + (self.bodies / 2).max(1) * NODE_BYTES
+    }
+
+    fn next_event(&mut self) -> WorkloadEvent {
+        let cpus = self.sched.cpus as u64;
+        let bodies_per_cpu = (self.bodies / cpus).max(1);
+        let phase = self.phase;
+        let body_base = self.body_base();
+        let tree_base = self.tree_base();
+        let zipf = &self.zipf;
+        let rng = &mut self.rng;
+        let cursors = &mut self.cursors;
+        let walks = &mut self.walk_left;
+        let done = &mut self.done;
+
+        let event = self.sched.next(|cpu| {
+            let my_first = cpu as u64 * bodies_per_cpu;
+            let cursor = cursors[cpu] % bodies_per_cpu;
+            let body_addr = body_base + (my_first + cursor) * BODY_BYTES;
+
+            match phase {
+                Phase::Build => {
+                    // Read the body, write a tree node chosen by spatial
+                    // hash (skewed toward the hot upper levels).
+                    if walks[cpu] == 0 {
+                        walks[cpu] = 1;
+                        MemRef::load(cpu, Address::new(body_addr))
+                    } else {
+                        walks[cpu] = 0;
+                        cursors[cpu] += 1;
+                        *done += 1;
+                        let node = zipf.sample(rng);
+                        MemRef::store(cpu, Address::new(tree_base + node * NODE_BYTES))
+                    }
+                }
+                Phase::Force => {
+                    if walks[cpu] == 0 {
+                        // Start a walk: ~8 node reads then the body store.
+                        walks[cpu] = 9;
+                        return MemRef::load(cpu, Address::new(body_addr));
+                    }
+                    walks[cpu] -= 1;
+                    if walks[cpu] == 0 {
+                        cursors[cpu] += 1;
+                        *done += 1;
+                        MemRef::store(cpu, Address::new(body_addr))
+                    } else {
+                        let node = zipf.sample(rng);
+                        MemRef::load(cpu, Address::new(tree_base + node * NODE_BYTES))
+                    }
+                }
+                Phase::Update => {
+                    cursors[cpu] += 1;
+                    *done += 1;
+                    MemRef::store(cpu, Address::new(body_addr))
+                }
+            }
+        });
+
+        if self.done >= bodies_per_cpu * cpus {
+            self.advance_phase();
+        }
+        event
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadExt;
+
+    #[test]
+    fn paper_size_matches_table5_footprint() {
+        let w = Barnes::paper_size(8, 1);
+        let expected = (3.1 * (1u64 << 30) as f64) as u64;
+        let err = (w.footprint_bytes() as f64 - expected as f64).abs() / expected as f64;
+        assert!(err < 0.03, "footprint off by {:.1}%", err * 100.0);
+    }
+
+    #[test]
+    fn tree_region_is_shared_across_cpus() {
+        let mut w = Barnes::scaled(4, 1 << 12, 1);
+        let tree_base = (1u64 << 12) * BODY_BYTES;
+        let mut owners: std::collections::HashMap<u64, std::collections::HashSet<usize>> =
+            std::collections::HashMap::new();
+        for e in w.events().take(60_000) {
+            if let Some(r) = e.as_ref_event() {
+                if r.addr.value() >= tree_base {
+                    owners
+                        .entry(r.addr.value() / 128)
+                        .or_default()
+                        .insert(r.cpu);
+                }
+            }
+        }
+        let shared = owners.values().filter(|s| s.len() > 1).count();
+        assert!(shared > 10, "tree nodes shared by >1 cpu: {shared}");
+    }
+
+    #[test]
+    fn bodies_are_private() {
+        let mut w = Barnes::scaled(4, 1 << 12, 1);
+        let bodies_per_cpu = (1u64 << 12) / 4;
+        for e in w.events().take(60_000) {
+            if let Some(r) = e.as_ref_event() {
+                if r.addr.value() < (1u64 << 12) * BODY_BYTES {
+                    let body = r.addr.value() / BODY_BYTES;
+                    let owner = (body / bodies_per_cpu).min(3) as usize;
+                    assert_eq!(owner, r.cpu, "body region crossed partitions");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn force_walks_dominate_reference_counts() {
+        let mut w = Barnes::scaled(2, 1 << 10, 1);
+        let tree_base = (1u64 << 10) * BODY_BYTES;
+        let mut tree_reads = 0u64;
+        let mut body_refs = 0u64;
+        for e in w.events().take(120_000) {
+            if let Some(r) = e.as_ref_event() {
+                if r.addr.value() >= tree_base {
+                    tree_reads += 1;
+                } else {
+                    body_refs += 1;
+                }
+            }
+        }
+        assert!(
+            tree_reads > body_refs,
+            "tree {tree_reads} vs bodies {body_refs}"
+        );
+    }
+}

@@ -1,0 +1,319 @@
+//! The FFT kernel: six-step FFT with an all-to-all transpose.
+//!
+//! SPLASH2's FFT organizes `n = 2^m` complex points as a √n × √n matrix.
+//! Each iteration performs local FFTs on the rows a processor owns
+//! (sequential, private), then a blocked transpose in which processor `i`
+//! reads the tiles owned by every other processor and writes them into
+//! its own partition of the destination array — the only communication
+//! phase, and a famously bursty all-to-all.
+
+use memories_bus::Address;
+
+use crate::event::MemRef;
+use crate::splash::Sched;
+use crate::{Workload, WorkloadEvent};
+
+const COMPLEX_BYTES: u64 = 16;
+/// Bytes per point: source + destination + roots-of-unity tables.
+/// 50 B/point reproduces Table 5's 12.58 GB at m = 28 within 1%.
+const BYTES_PER_POINT: u64 = 50;
+/// Per-processor partition skew. SPLASH2's FFT pads its rows precisely
+/// because power-of-two partitions make the concurrent per-processor
+/// streams alias into the same cache sets; without the skew, eight
+/// sequential walkers at exact 8 MB strides hammer one set of every
+/// power-of-two cache. 17 lines of 128 B is the classic odd-stride pad.
+const PARTITION_PAD: u64 = 17 * 128;
+
+/// Which phase the kernel is in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Local row FFTs over the source array.
+    LocalSrc,
+    /// Blocked all-to-all transpose from source into destination.
+    Transpose,
+    /// Local row FFTs over the destination array.
+    LocalDst,
+}
+
+/// The FFT access-pattern kernel. See the [module docs](crate::splash).
+#[derive(Clone, Debug)]
+pub struct Fft {
+    sched: Sched,
+    m: u32,
+    rows: u64,
+    row_bytes: u64,
+    phase: Phase,
+    /// Per-CPU progress within the current phase (element cursor).
+    cursors: Vec<u64>,
+    /// Per-phase reference budget per CPU before advancing.
+    phase_refs: u64,
+    done_in_phase: u64,
+    /// Whether the next reference of a local-phase pair is the store.
+    store_next: Vec<bool>,
+}
+
+impl Fft {
+    /// The paper's size: `-m28` (2^28 points). `iterations` is unused by
+    /// the infinite generator but kept for symmetric constructors.
+    pub fn paper_size(cpus: usize, iterations: u32) -> Self {
+        let _ = iterations;
+        Fft::scaled(cpus, 28, 7)
+    }
+
+    /// A scaled instance with `2^m` points; `instr_per_ref` models the
+    /// compute density (the real kernel does ~5 n log n flops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m < 4` or `m` is odd beyond 60, or `cpus` is zero.
+    pub fn scaled(cpus: usize, m: u32, instr_per_ref: u64) -> Self {
+        assert!((4..=60).contains(&m), "m out of range");
+        let n = 1u64 << m;
+        let rows = 1u64 << m.div_ceil(2);
+        let cols = n / rows;
+        let row_bytes = cols * COMPLEX_BYTES;
+        let rows_per_cpu = (rows / cpus as u64).max(1);
+        Fft {
+            sched: Sched::new(cpus, instr_per_ref),
+            m,
+            rows,
+            row_bytes,
+            phase: Phase::LocalSrc,
+            cursors: vec![0; cpus],
+            // One phase = each CPU touching its whole partition once.
+            phase_refs: rows_per_cpu * cols,
+            done_in_phase: 0,
+            store_next: vec![false; cpus],
+        }
+    }
+
+    /// The problem-size exponent `m`.
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Number of points.
+    pub fn points(&self) -> u64 {
+        1 << self.m
+    }
+
+    /// Instruction-count work model: SPLASH2 FFT executes on the order of
+    /// `c · n · m` instructions; `c = 200` calibrates the m=20 point of
+    /// Table 4 against the S7A host (3 s at 8 × 262 MHz / CPI 1.5).
+    pub fn estimated_instructions(&self) -> u64 {
+        200 * self.points() * u64::from(self.m)
+    }
+
+    fn src_base(&self) -> u64 {
+        0
+    }
+
+    fn dst_base(&self) -> u64 {
+        self.points() * COMPLEX_BYTES + self.sched.cpus as u64 * PARTITION_PAD
+    }
+
+    fn advance_phase(&mut self) {
+        self.phase = match self.phase {
+            Phase::LocalSrc => Phase::Transpose,
+            Phase::Transpose => Phase::LocalDst,
+            Phase::LocalDst => Phase::LocalSrc,
+        };
+        self.done_in_phase = 0;
+        self.cursors.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+impl Workload for Fft {
+    fn name(&self) -> &str {
+        "fft"
+    }
+
+    fn num_cpus(&self) -> usize {
+        self.sched.cpus
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.points() * BYTES_PER_POINT + 2 * self.sched.cpus as u64 * PARTITION_PAD
+    }
+
+    fn next_event(&mut self) -> WorkloadEvent {
+        let cpus = self.sched.cpus as u64;
+        let rows_per_cpu = (self.rows / cpus).max(1);
+        let cols = self.row_bytes / COMPLEX_BYTES;
+        let phase = self.phase;
+        let src = self.src_base();
+        let dst = self.dst_base();
+        let row_bytes = self.row_bytes;
+        let phase_refs = self.phase_refs;
+        let cursors = &mut self.cursors;
+        let store_next = &mut self.store_next;
+        let done = &mut self.done_in_phase;
+
+        let event = self.sched.next(|cpu| {
+            let cursor = cursors[cpu];
+            let element = cursor % (rows_per_cpu * cols);
+            let row_in_part = element / cols;
+            let col = element % cols;
+            let own_first_row = cpu as u64 * rows_per_cpu;
+
+            match phase {
+                Phase::LocalSrc | Phase::LocalDst => {
+                    let base = if phase == Phase::LocalSrc { src } else { dst };
+                    let addr = base
+                        + cpu as u64 * PARTITION_PAD
+                        + (own_first_row + row_in_part) * row_bytes
+                        + col * COMPLEX_BYTES;
+                    // Read-modify-write of each element: alternate
+                    // load/store at the same address.
+                    let is_store = store_next[cpu];
+                    store_next[cpu] = !is_store;
+                    if !is_store {
+                        cursors[cpu] = cursor; // stay for the store
+                        return MemRef::load(cpu, Address::new(addr));
+                    }
+                    cursors[cpu] = cursor + 1;
+                    *done += 1;
+                    MemRef::store(cpu, Address::new(addr))
+                }
+                Phase::Transpose => {
+                    // True transpose: dst[R][C] = src[C mod rows][R mod
+                    // cols]. Each source element is read by exactly one
+                    // CPU (the owner of destination row R), with
+                    // column-major strides over the source — the real
+                    // kernel's access pattern, and the reason FFT shows
+                    // so few interventions in the paper's Figure 12.
+                    let is_store = store_next[cpu];
+                    store_next[cpu] = !is_store;
+                    let dst_row = own_first_row + row_in_part;
+                    if !is_store {
+                        let rows_total = rows_per_cpu * cpus;
+                        let src_row = col % rows_total;
+                        let src_col = dst_row % cols;
+                        let owner = src_row / rows_per_cpu;
+                        let addr = src
+                            + owner * PARTITION_PAD
+                            + src_row * row_bytes
+                            + src_col * COMPLEX_BYTES;
+                        return MemRef::load(cpu, Address::new(addr));
+                    }
+                    cursors[cpu] = cursor + 1;
+                    *done += 1;
+                    let addr = dst
+                        + cpu as u64 * PARTITION_PAD
+                        + dst_row * row_bytes
+                        + col * COMPLEX_BYTES;
+                    MemRef::store(cpu, Address::new(addr))
+                }
+            }
+        });
+
+        if self.done_in_phase >= phase_refs * cpus {
+            self.advance_phase();
+        }
+        event
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadExt;
+
+    #[test]
+    fn paper_size_matches_table5_footprint() {
+        let w = Fft::paper_size(8, 1);
+        let expected = (12.58 * (1u64 << 30) as f64) as u64;
+        let err = (w.footprint_bytes() as f64 - expected as f64).abs() / expected as f64;
+        assert!(err < 0.02, "footprint off by {:.1}%", err * 100.0);
+    }
+
+    #[test]
+    fn local_phase_is_private_per_cpu() {
+        let mut w = Fft::scaled(4, 12, 7);
+        // First phase: every CPU touches only its own (padded) slice of
+        // the source array.
+        let rows = 1u64 << 6;
+        let rows_per_cpu = rows / 4;
+        let row_bytes = (1u64 << 6) * 16;
+        for e in w.events().take(2000) {
+            if let Some(r) = e.as_ref_event() {
+                let slice_start = r.cpu as u64 * (rows_per_cpu * row_bytes + PARTITION_PAD);
+                let slice_end = slice_start + rows_per_cpu * row_bytes + PARTITION_PAD;
+                assert!(
+                    (slice_start..slice_end).contains(&r.addr.value()),
+                    "cpu{} touched {} outside its slice [{slice_start}, {slice_end})",
+                    r.cpu,
+                    r.addr
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_do_not_alias_into_one_cache_set() {
+        // The SPLASH2-style pad: with 8 CPUs walking in lock step, the 8
+        // concurrent stream pointers must not share a 1 KB-line cache
+        // set (the hardware pathology the pad exists to avoid).
+        let mut w = Fft::scaled(8, 22, 7);
+        let first_refs: Vec<u64> = {
+            let mut firsts = vec![None; 8];
+            for e in w.events().take(64) {
+                if let Some(r) = e.as_ref_event() {
+                    firsts[r.cpu].get_or_insert(r.addr.value());
+                }
+            }
+            firsts
+                .into_iter()
+                .map(|f| f.expect("each cpu issued a ref"))
+                .collect()
+        };
+        let sets: std::collections::HashSet<u64> =
+            first_refs.iter().map(|a| (a >> 10) % 1024).collect();
+        assert!(
+            sets.len() >= 6,
+            "stream pointers collide in {} set(s)",
+            sets.len()
+        );
+    }
+
+    #[test]
+    fn transpose_phase_reads_remote_rows() {
+        let mut w = Fft::scaled(2, 8, 7);
+        // m=8, 2 cpus: rows=16, cols=16, row_bytes=256; each cpu's source
+        // slice is 8 rows (2048 B) at a padded offset.
+        let slice_bytes = 8 * 256u64;
+        let slice_start = |cpu: u64| cpu * (slice_bytes + PARTITION_PAD);
+        let src_end = 256 * 16 + 2 * PARTITION_PAD;
+        let mut cross_reads = 0;
+        // 3 phases' worth of events is plenty to cross into transpose.
+        for e in w.events().take(20_000) {
+            if let Some(r) = e.as_ref_event() {
+                if r.kind.is_store() || r.addr.value() >= src_end {
+                    continue;
+                }
+                let own = slice_start(r.cpu as u64);
+                let in_own = (own..own + slice_bytes + PARTITION_PAD).contains(&r.addr.value());
+                if !in_own {
+                    cross_reads += 1;
+                }
+            }
+        }
+        assert!(
+            cross_reads > 0,
+            "no cross-partition reads seen in transpose"
+        );
+    }
+
+    #[test]
+    fn work_model_calibration_point() {
+        // m=20 at 8 CPUs should land near the paper's 3 s of host time:
+        // instructions / (8 cpus x 262 MHz / CPI 1.5).
+        let w = Fft::scaled(8, 20, 7);
+        let host_ips = 8.0 * 262e6 / 1.5;
+        let t = w.estimated_instructions() as f64 / host_ips;
+        assert!(
+            (1.0..10.0).contains(&t),
+            "host time model {t} s too far from 3 s"
+        );
+    }
+}

@@ -1,0 +1,300 @@
+//! A web-server workload generator.
+//!
+//! §5.3 closes with "we can also use the MemorIES board for scaling
+//! studies involving transaction processing, decision support, and web
+//! server workloads." A late-90s web server's memory behaviour: a
+//! Zipf-popular document set streamed sequentially per request (files
+//! span a huge range of sizes), a hot metadata/inode cache, per-worker
+//! connection state, and inbound/outbound DMA for the network interface.
+
+use memories_bus::Address;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::event::{MemRef, WorkloadEvent};
+use crate::zipf::ZipfSampler;
+use crate::Workload;
+
+/// Web-server generator parameters.
+#[derive(Clone, Debug)]
+pub struct WebConfig {
+    /// Worker processes/threads (one per CPU).
+    pub cpus: usize,
+    /// Total document-set bytes.
+    pub docs_bytes: u64,
+    /// Number of documents (sizes span `docs_bytes / docs` on average;
+    /// actual sizes follow a doubling distribution).
+    pub docs: u64,
+    /// Zipf skew of document popularity (web traffic is famously ~0.8).
+    pub theta: f64,
+    /// Hot metadata region (inode/stat cache).
+    pub metadata_bytes: u64,
+    /// Per-worker connection state.
+    pub conn_bytes_per_cpu: u64,
+    /// Fraction of served bytes that also cross the NIC as DMA.
+    pub dma_fraction: f64,
+    /// Instructions per memory reference.
+    pub instructions_per_ref: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WebConfig {
+    /// Scaled defaults: 128 MB of documents across 8192 files, 8 workers.
+    pub fn scaled_default() -> Self {
+        WebConfig {
+            cpus: 8,
+            docs_bytes: 128 << 20,
+            docs: 8192,
+            theta: 0.8,
+            metadata_bytes: 256 << 10,
+            conn_bytes_per_cpu: 64 << 10,
+            dma_fraction: 0.25,
+            instructions_per_ref: 6,
+            seed: 0x3EB,
+        }
+    }
+}
+
+/// Per-worker request state.
+#[derive(Clone, Copy, Debug)]
+struct Serving {
+    doc_base: u64,
+    doc_bytes: u64,
+    offset: u64,
+}
+
+/// The web-server generator. See [`WebConfig`].
+#[derive(Clone, Debug)]
+pub struct WebWorkload {
+    config: WebConfig,
+    zipf: ZipfSampler,
+    rng: SmallRng,
+    cpu: usize,
+    tick_next: bool,
+    serving: Vec<Option<Serving>>,
+    /// Precomputed document `(base, size)` pairs (doubling size classes).
+    docs: Vec<(u64, u64)>,
+}
+
+impl WebWorkload {
+    /// Builds the generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes or counts are zero.
+    pub fn new(config: WebConfig) -> Self {
+        assert!(config.cpus > 0 && config.docs > 0 && config.docs_bytes > 0);
+        // Document sizes: four doubling classes interleaved, averaging
+        // ~1.9x the nominal mean (web file-size distributions are heavy
+        // tailed; the total region is what matters, not `docs_bytes`
+        // exactly).
+        let mut docs = Vec::with_capacity(config.docs as usize);
+        let mut base = 0u64;
+        let avg = (config.docs_bytes / config.docs).max(128);
+        for i in 0..config.docs {
+            let class = (i % 4) as u32;
+            let size = ((avg >> 1) << class).max(64); // avg/2 .. 4avg
+            docs.push((base, size));
+            base += size;
+        }
+        WebWorkload {
+            zipf: ZipfSampler::new(config.docs, config.theta),
+            rng: SmallRng::seed_from_u64(config.seed),
+            docs,
+            serving: vec![None; config.cpus],
+            config,
+            cpu: 0,
+            tick_next: true,
+        }
+    }
+
+    fn doc_size(&self, doc: u64) -> u64 {
+        self.docs[doc as usize].1
+    }
+
+    fn metadata_base(&self) -> u64 {
+        let (base, size) = *self.docs.last().expect("documents exist");
+        base + size
+    }
+}
+
+impl Workload for WebWorkload {
+    fn name(&self) -> &str {
+        "web"
+    }
+
+    fn num_cpus(&self) -> usize {
+        self.config.cpus
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.metadata_base()
+            + self.config.metadata_bytes
+            + self.config.conn_bytes_per_cpu * self.config.cpus as u64
+    }
+
+    fn next_event(&mut self) -> WorkloadEvent {
+        if self.tick_next {
+            self.tick_next = false;
+            return WorkloadEvent::Instructions {
+                cpu: self.cpu,
+                count: self.config.instructions_per_ref,
+            };
+        }
+        self.tick_next = true;
+        let cpu = self.cpu;
+        self.cpu = (self.cpu + 1) % self.config.cpus;
+
+        // Occasionally the NIC DMAs a served line out (or a request in).
+        if self.rng.random_bool(self.config.dma_fraction * 0.1) {
+            if let Some(s) = self.serving[cpu] {
+                return WorkloadEvent::Dma {
+                    write: self.rng.random_bool(0.3),
+                    addr: Address::new(s.doc_base + s.offset),
+                };
+            }
+        }
+
+        let roll: f64 = self.rng.random();
+        let r = if roll < 0.15 {
+            // Metadata lookup (read-mostly, hot).
+            let within = self.rng.random_range(0..self.config.metadata_bytes) & !7;
+            let addr = Address::new(self.metadata_base() + within);
+            if self.rng.random_bool(0.1) {
+                MemRef::store(cpu, addr)
+            } else {
+                MemRef::load(cpu, addr)
+            }
+        } else if roll < 0.30 {
+            // Connection state (hot, read/write).
+            let base = self.metadata_base()
+                + self.config.metadata_bytes
+                + cpu as u64 * self.config.conn_bytes_per_cpu;
+            let within = self.rng.random_range(0..self.config.conn_bytes_per_cpu) & !7;
+            let addr = Address::new(base + within);
+            if self.rng.random_bool(0.4) {
+                MemRef::store(cpu, addr)
+            } else {
+                MemRef::load(cpu, addr)
+            }
+        } else {
+            // Serve the current document sequentially; pick a new one
+            // (Zipf-popular) when finished.
+            let s = match self.serving[cpu] {
+                Some(s) if s.offset < s.doc_bytes => s,
+                _ => {
+                    let doc = self.zipf.sample(&mut self.rng);
+                    Serving {
+                        doc_base: self.docs[doc as usize].0,
+                        doc_bytes: self.doc_size(doc),
+                        offset: 0,
+                    }
+                }
+            };
+            let addr = Address::new(s.doc_base + s.offset);
+            self.serving[cpu] = Some(Serving {
+                offset: s.offset + 64,
+                ..s
+            });
+            MemRef::load(cpu, addr)
+        };
+        WorkloadEvent::Ref(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadExt;
+
+    fn small() -> WebConfig {
+        WebConfig {
+            cpus: 4,
+            docs_bytes: 4 << 20,
+            docs: 256,
+            theta: 0.8,
+            metadata_bytes: 32 << 10,
+            conn_bytes_per_cpu: 8 << 10,
+            dma_fraction: 0.25,
+            instructions_per_ref: 6,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn deterministic_and_bounded() {
+        let mut a = WebWorkload::new(small());
+        let mut b = WebWorkload::new(small());
+        let fp = a.footprint_bytes();
+        for _ in 0..5000 {
+            let ea = a.next_event();
+            assert_eq!(ea, b.next_event());
+            if let Some(r) = ea.as_ref_event() {
+                assert!(r.addr.value() < fp);
+            }
+        }
+    }
+
+    #[test]
+    fn popular_documents_dominate_traffic() {
+        let mut w = WebWorkload::new(small());
+        let hottest_doc_end = w.doc_size(0);
+        let mut hot = 0u64;
+        let mut doc_refs = 0u64;
+        let meta_base = w.metadata_base();
+        for e in w.events().take(40_000) {
+            if let Some(r) = e.as_ref_event() {
+                if r.addr.value() < meta_base {
+                    doc_refs += 1;
+                    if r.addr.value() < hottest_doc_end {
+                        hot += 1;
+                    }
+                }
+            }
+        }
+        // 256 docs; the hottest should carry far more than 1/256.
+        assert!(hot * 30 > doc_refs, "hot doc carried {hot}/{doc_refs}");
+    }
+
+    #[test]
+    fn serving_is_sequential_within_a_document() {
+        let mut w = WebWorkload::new(small());
+        let meta_base = w.metadata_base();
+        let mut last: Option<(usize, u64)> = None;
+        let mut sequential = 0u64;
+        let mut jumps = 0u64;
+        for e in w.events().take(40_000) {
+            if let Some(r) = e.as_ref_event() {
+                if r.addr.value() >= meta_base || r.kind.is_store() {
+                    continue;
+                }
+                if let Some((cpu, prev)) = last {
+                    if cpu == r.cpu {
+                        if r.addr.value() == prev + 64 {
+                            sequential += 1;
+                        } else {
+                            jumps += 1;
+                        }
+                    }
+                }
+                last = Some((r.cpu, r.addr.value()));
+            }
+        }
+        assert!(
+            sequential > jumps,
+            "serving not stream-like: {sequential} sequential vs {jumps} jumps"
+        );
+    }
+
+    #[test]
+    fn emits_dma_traffic() {
+        let mut w = WebWorkload::new(small());
+        let dma = w
+            .events()
+            .take(60_000)
+            .filter(|e| matches!(e, WorkloadEvent::Dma { .. }))
+            .count();
+        assert!(dma > 100, "only {dma} DMA events");
+    }
+}

@@ -1,0 +1,81 @@
+//! Cache planning: the board's day job at IBM — pick the L3 for the next
+//! server generation by sweeping configurations against a live
+//! commercial workload.
+//!
+//! Uses the Figure 4 mode (four parallel configurations per run) to
+//! evaluate twelve L3 candidates — three associativities at four sizes —
+//! in three runs over identical TPC-C-like traffic.
+//!
+//! Run with: `cargo run --release --example cache_planning`
+
+use memories::{BoardConfig, CacheParams, ReplacementPolicy};
+use memories_bus::ProcId;
+use memories_console::report::{bytes, Table};
+use memories_console::Experiment;
+use memories_host::HostConfig;
+use memories_workloads::{OltpConfig, OltpWorkload};
+
+fn candidate(capacity: u64, ways: u32) -> Result<CacheParams, memories::ParamError> {
+    CacheParams::builder()
+        .capacity(capacity)
+        .ways(ways)
+        .line_size(128)
+        .replacement(ReplacementPolicy::Lru)
+        .allow_scaled_down()
+        .build()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sizes: [u64; 4] = [2 << 20, 8 << 20, 32 << 20, 128 << 20];
+    let ways_options: [u32; 3] = [1, 4, 8];
+    const REFS: u64 = 400_000;
+
+    let host = HostConfig {
+        inner_cache: None,
+        outer_cache: memories_bus::Geometry::new(256 << 10, 4, 128)?,
+        ..HostConfig::s7a()
+    };
+
+    let mut table = Table::new(["L3 size", "direct mapped", "4-way", "8-way"])
+        .with_title("TPC-C L3 miss ratio by candidate configuration");
+
+    // One run per associativity, four sizes in parallel per run.
+    let mut results = vec![vec![0.0f64; sizes.len()]; ways_options.len()];
+    for (wi, &ways) in ways_options.iter().enumerate() {
+        let configs: Result<Vec<_>, _> = sizes.iter().map(|&s| candidate(s, ways)).collect();
+        let board = BoardConfig::parallel_configs(configs?, (0..8).map(ProcId::new).collect())?;
+        let mut workload = OltpWorkload::new(OltpConfig::scaled_default());
+        let result = Experiment::new(host.clone(), board)?.run(&mut workload, REFS);
+        for (si, stats) in result.node_stats.iter().enumerate() {
+            results[wi][si] = stats.miss_ratio();
+        }
+    }
+
+    for (si, &size) in sizes.iter().enumerate() {
+        table.row([
+            bytes(size),
+            format!("{:.4}", results[0][si]),
+            format!("{:.4}", results[1][si]),
+            format!("{:.4}", results[2][si]),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // The planner's read-out: where does extra capacity stop paying?
+    for wi in 0..ways_options.len() {
+        for si in 1..sizes.len() {
+            let gain = results[wi][si - 1] - results[wi][si];
+            if gain < 0.01 {
+                println!(
+                    "{}-way: diminishing returns beyond {} ({:.4} -> {:.4})",
+                    ways_options[wi],
+                    bytes(sizes[si - 1]),
+                    results[wi][si - 1],
+                    results[wi][si],
+                );
+                break;
+            }
+        }
+    }
+    Ok(())
+}

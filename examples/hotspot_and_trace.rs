@@ -1,0 +1,109 @@
+//! Alternate firmware tour: hot-spot identification and trace capture
+//! (§2.3), plus offline replay through the reference simulator.
+//!
+//! Three listeners ride the same bus at once — the board, a page-level
+//! hot-spot profiler, and a trace capture — exactly like reprogramming
+//! the FPGAs for different jobs. The captured trace then replays through
+//! the trace-driven reference simulator, which must agree with the live
+//! board *exactly* (the paper's validation methodology, §4.1).
+//!
+//! Run with: `cargo run --release --example hotspot_and_trace`
+
+use memories::{
+    BoardConfig, CacheParams, Granularity, HotSpotProfiler, MemoriesBoard, TraceCapture,
+};
+use memories_bus::ProcId;
+use memories_console::Shared;
+use memories_host::{AccessKind, HostConfig, HostMachine};
+use memories_protocol::standard;
+use memories_sim::{compare_counts, CacheSim};
+use memories_trace::TraceReader;
+use memories_workloads::{OltpConfig, OltpWorkload, RefKind, Workload, WorkloadEvent};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const REFS: u64 = 200_000;
+    let params = CacheParams::builder().capacity(8 << 20).ways(4).build()?;
+
+    let host = HostConfig {
+        inner_cache: None,
+        outer_cache: memories_bus::Geometry::new(128 << 10, 4, 128)?,
+        ..HostConfig::s7a()
+    };
+    let mut machine = HostMachine::new(host)?;
+
+    let board = Shared::new(MemoriesBoard::new(BoardConfig::single_node(
+        params,
+        (0..8).map(ProcId::new),
+    )?)?);
+    let profiler = Shared::new(HotSpotProfiler::new(
+        Granularity::Page { page_size: 4096 },
+        1 << 20,
+    ));
+    let capture = Shared::new(TraceCapture::new(2_000_000));
+
+    machine.attach_listener(Box::new(board.handle()));
+    machine.attach_listener(Box::new(profiler.handle()));
+    machine.attach_listener(Box::new(capture.handle()));
+
+    let mut workload = OltpWorkload::new(OltpConfig::scaled_default());
+    let mut done = 0;
+    while done < REFS {
+        match workload.next_event() {
+            WorkloadEvent::Ref(r) => {
+                let kind = match r.kind {
+                    RefKind::Load => AccessKind::Load,
+                    RefKind::Store => AccessKind::Store,
+                };
+                machine.access(r.cpu, kind, r.addr);
+                done += 1;
+            }
+            WorkloadEvent::Instructions { cpu, count } => machine.tick_instructions(cpu, count),
+            WorkloadEvent::Dma { write: true, addr } => machine.dma_write(addr),
+            WorkloadEvent::Dma { write: false, addr } => machine.dma_read(addr),
+        }
+    }
+    drop(machine.detach_listeners());
+
+    // Hot-spot report: the OLTP metadata region should glow.
+    println!("top 5 hottest pages on the bus:");
+    profiler.with(|p| {
+        for row in p.top(5) {
+            println!(
+                "  {}: {} reads, {} writes",
+                row.base, row.counts.reads, row.counts.writes
+            );
+        }
+        println!(
+            "  ({} pages tracked, {} refs)",
+            p.tracked_units(),
+            p.total_references()
+        );
+    });
+
+    // Dump the capture to an in-memory "disk" and replay it offline.
+    let mut disk = Vec::new();
+    let captured = capture.with(|c| c.dump(&mut disk))?;
+    println!(
+        "\ncaptured {captured} bus references ({} bytes on disk)",
+        disk.len()
+    );
+
+    let board_params = board.with(|b| *b.node(memories_bus::NodeId::new(0)).params());
+    let mut sim = CacheSim::new(board_params, standard::mesi());
+    for rec in TraceReader::new(disk.as_slice())? {
+        sim.step(&rec?);
+    }
+
+    let report = board.with(|b| {
+        compare_counts(
+            b.node(memories_bus::NodeId::new(0)).counters(),
+            sim.counts(),
+        )
+    });
+    println!("offline replay vs. live board: {report}");
+    assert!(
+        report.matches(),
+        "replay must reproduce the live run exactly"
+    );
+    Ok(())
+}

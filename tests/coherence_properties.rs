@@ -1,0 +1,174 @@
+//! Property tests of the host machine's MESI coherence — the substrate
+//! must be sound for anything the board observes to mean something.
+
+use memories_bus::{Address, Geometry};
+use memories_host::{HostConfig, HostMachine, MesiState};
+use proptest::prelude::*;
+
+/// One step of a random multiprocessor program.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Load { cpu: usize, line: u64 },
+    Store { cpu: usize, line: u64 },
+    DmaRead { line: u64 },
+    DmaWrite { line: u64 },
+    Flush { cpu: usize, line: u64 },
+}
+
+fn arb_op(cpus: usize, lines: u64) -> impl Strategy<Value = Op> {
+    (0usize..cpus, 0u64..lines, 0u8..16).prop_map(move |(cpu, line, kind)| match kind {
+        0..=6 => Op::Load { cpu, line },
+        7..=12 => Op::Store { cpu, line },
+        13 => Op::DmaRead { line },
+        14 => Op::DmaWrite { line },
+        _ => Op::Flush { cpu, line },
+    })
+}
+
+fn machine(cpus: usize) -> HostMachine {
+    let cfg = HostConfig {
+        num_cpus: cpus,
+        inner_cache: Some(Geometry::new(1 << 10, 2, 128).unwrap()),
+        outer_cache: Geometry::new(4 << 10, 2, 128).unwrap(),
+        ..HostConfig::s7a()
+    };
+    HostMachine::new(cfg).unwrap()
+}
+
+fn apply(m: &mut HostMachine, op: Op) {
+    let addr = |line: u64| Address::new(line * 128);
+    match op {
+        Op::Load { cpu, line } => m.load(cpu, addr(line)),
+        Op::Store { cpu, line } => m.store(cpu, addr(line)),
+        Op::DmaRead { line } => m.dma_read(addr(line)),
+        Op::DmaWrite { line } => m.dma_write(addr(line)),
+        Op::Flush { cpu, line } => m.flush(cpu, addr(line)),
+    }
+}
+
+/// The single-writer invariant: for every line, either one cache holds it
+/// in M or E and nobody else holds it, or all holders have it Shared.
+fn check_coherence(m: &HostMachine) -> Result<(), String> {
+    use std::collections::HashMap;
+    let mut holders: HashMap<u64, Vec<(usize, MesiState)>> = HashMap::new();
+    for cpu in 0..m.cpu_count() {
+        for (line, state) in m.cpu(cpu).outer_cache().iter() {
+            holders.entry(line.value()).or_default().push((cpu, state));
+        }
+    }
+    for (line, hs) in holders {
+        let exclusive = hs
+            .iter()
+            .filter(|(_, s)| matches!(s, MesiState::Modified | MesiState::Exclusive))
+            .count();
+        if exclusive > 1 || (exclusive == 1 && hs.len() > 1) {
+            return Err(format!("line {line:#x} held incoherently: {hs:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Inclusion: every inner-cache line is also in the outer cache.
+fn check_inclusion(m: &HostMachine) -> Result<(), String> {
+    for cpu in 0..m.cpu_count() {
+        if let Some(inner) = m.cpu(cpu).inner_cache() {
+            for (line, _) in inner.iter() {
+                if !m.cpu(cpu).outer_cache().contains(line) {
+                    return Err(format!("cpu{cpu}: inner line {line} not in outer cache"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mesi_single_writer_invariant_holds(
+        ops in prop::collection::vec(arb_op(4, 64), 1..400),
+    ) {
+        let mut m = machine(4);
+        for op in ops {
+            apply(&mut m, op);
+        }
+        check_coherence(&m).map_err(TestCaseError::fail)?;
+        check_inclusion(&m).map_err(TestCaseError::fail)?;
+    }
+
+    /// After a store by cpu `c`, no *other* cache holds the line valid.
+    #[test]
+    fn stores_invalidate_all_other_copies(
+        warmup in prop::collection::vec(arb_op(4, 16), 0..100),
+        cpu in 0usize..4,
+        line in 0u64..16,
+    ) {
+        let mut m = machine(4);
+        for op in warmup {
+            apply(&mut m, op);
+        }
+        m.store(cpu, Address::new(line * 128));
+        let l = m.config().outer_cache.line_addr(Address::new(line * 128));
+        prop_assert_eq!(m.cpu(cpu).outer_state(l), MesiState::Modified);
+        for other in 0..4 {
+            if other != cpu {
+                prop_assert_eq!(
+                    m.cpu(other).outer_state(l),
+                    MesiState::Invalid,
+                    "cpu{} kept a copy after cpu{}'s store",
+                    other,
+                    cpu
+                );
+            }
+        }
+    }
+
+    /// DMA writes leave no cached copies anywhere.
+    #[test]
+    fn dma_writes_purge_the_line(
+        warmup in prop::collection::vec(arb_op(4, 16), 0..100),
+        line in 0u64..16,
+    ) {
+        let mut m = machine(4);
+        for op in warmup {
+            apply(&mut m, op);
+        }
+        m.dma_write(Address::new(line * 128));
+        let l = m.config().outer_cache.line_addr(Address::new(line * 128));
+        for cpu in 0..4 {
+            prop_assert_eq!(m.cpu(cpu).outer_state(l), MesiState::Invalid);
+            if let Some(inner) = m.cpu(cpu).inner_cache() {
+                prop_assert!(!inner.contains(l));
+            }
+        }
+    }
+
+    /// Bus accounting: transactions never outnumber references plus
+    /// writebacks plus flushes (each access produces at most one demand
+    /// transaction plus at most one castout).
+    #[test]
+    fn bus_traffic_is_bounded_by_reference_activity(
+        ops in prop::collection::vec(arb_op(2, 32), 1..300),
+    ) {
+        let mut m = machine(2);
+        let mut non_cpu_ops = 0u64;
+        for op in &ops {
+            if matches!(op, Op::DmaRead { .. } | Op::DmaWrite { .. } | Op::Flush { .. }) {
+                non_cpu_ops += 1;
+            }
+            apply(&mut m, *op);
+        }
+        let stats = m.stats();
+        let bus = m.bus().stats();
+        let upper = stats.total().references() + stats.total().writebacks + non_cpu_ops;
+        prop_assert!(
+            bus.transactions <= upper,
+            "{} bus transactions from {} refs (+{} wb, {} other)",
+            bus.transactions,
+            stats.total().references(),
+            stats.total().writebacks,
+            non_cpu_ops
+        );
+    }
+}

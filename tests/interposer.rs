@@ -1,0 +1,131 @@
+//! The interposer card end to end: a foreign (x86-style) bus stream
+//! converted through a command map must drive the board identically to
+//! the equivalent native 6xx stream (§3's "different bus architecture"
+//! support).
+
+use memories::{BoardConfig, CacheParams, MemoriesBoard};
+use memories_bus::interposer::{CommandMap, ForeignOp, Interposer};
+use memories_bus::{Address, BusListener, BusOp, NodeId, ProcId, SnoopResponse, Transaction};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn board() -> MemoriesBoard {
+    let params = CacheParams::builder()
+        .capacity(64 << 10)
+        .ways(4)
+        .line_size(128)
+        .allow_scaled_down()
+        .build()
+        .unwrap();
+    MemoriesBoard::new(BoardConfig::single_node(params, (0..8).map(ProcId::new)).unwrap()).unwrap()
+}
+
+fn foreign_stream(n: u64) -> Vec<(ProcId, ForeignOp, Address)> {
+    let mut rng = SmallRng::seed_from_u64(77);
+    (0..n)
+        .map(|_| {
+            let op = match rng.random_range(0..12) {
+                0..=5 => ForeignOp::BusReadLine,
+                6..=7 => ForeignOp::BusReadInvalidateLine,
+                8 => ForeignOp::BusInvalidateLine,
+                9 => ForeignOp::BusWriteLine,
+                10 => ForeignOp::IoAgentWrite,
+                _ => ForeignOp::SpecialCycle,
+            };
+            (
+                ProcId::new(rng.random_range(0..8)),
+                op,
+                Address::new(rng.random_range(0..1024u64) * 128),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn interposed_stream_matches_native_stream() {
+    let stream = foreign_stream(20_000);
+    let map = CommandMap::p6_default();
+
+    // Path 1: through the interposer.
+    let mut interposer = Interposer::new(map.clone());
+    let mut via_interposer = board();
+    for (i, (proc, op, addr)) in stream.iter().enumerate() {
+        if let Some(txn) = interposer.convert(i as u64 * 60, *proc, *op, *addr, SnoopResponse::Null)
+        {
+            via_interposer.on_transaction(&txn);
+        }
+    }
+
+    // Path 2: hand-translated native transactions.
+    let mut native = board();
+    let mut seq = 0u64;
+    for (i, (proc, op, addr)) in stream.iter().enumerate() {
+        let Some(bus_op) = map.translate(*op) else {
+            continue;
+        };
+        let txn = Transaction::new(
+            seq,
+            i as u64 * 60,
+            *proc,
+            bus_op,
+            *addr,
+            SnoopResponse::Null,
+        );
+        seq += 1;
+        native.on_transaction(&txn);
+    }
+
+    assert_eq!(
+        via_interposer.node(NodeId::new(0)).counters(),
+        native.node(NodeId::new(0)).counters(),
+        "interposed and native streams diverged"
+    );
+    // Special cycles were dropped before reaching the board.
+    let specials = stream
+        .iter()
+        .filter(|(_, op, _)| *op == ForeignOp::SpecialCycle)
+        .count() as u64;
+    assert_eq!(interposer.dropped(), specials);
+    assert_eq!(
+        via_interposer.global().transactions() + specials,
+        stream.len() as u64
+    );
+}
+
+#[test]
+fn custom_command_map_changes_board_behaviour() {
+    // A map that treats x86 invalidate-line as a full RWITM (a protocol
+    // "similar but not identical" case from §3).
+    let text = "brl read\nbril rwitm\nbil rwitm\nbwl wb\n";
+    let map = CommandMap::parse(text).unwrap();
+    let mut interposer = Interposer::new(map);
+    let mut b = board();
+
+    // An invalidate-line for a cold line now allocates (RWITM semantics).
+    let txn = interposer
+        .convert(
+            0,
+            ProcId::new(0),
+            ForeignOp::BusInvalidateLine,
+            Address::new(0x80),
+            SnoopResponse::Null,
+        )
+        .unwrap();
+    assert_eq!(txn.op, BusOp::Rwitm);
+    b.on_transaction(&txn);
+    assert!(!b
+        .node(NodeId::new(0))
+        .probe(Address::new(0x80))
+        .is_invalid());
+
+    // Unmapped commands (io agents) are dropped by this map.
+    assert!(interposer
+        .convert(
+            60,
+            ProcId::new(0),
+            ForeignOp::IoAgentWrite,
+            Address::new(0x100),
+            SnoopResponse::Null
+        )
+        .is_none());
+}

@@ -1,0 +1,126 @@
+//! The NUMA sparse-directory firmware (§2.3) driven end to end by a live
+//! host machine.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use memories::numa::{DirectoryParams, NumaConfig, NumaEmulator};
+use memories::CacheParams;
+use memories_bus::{BusListener, Geometry, ListenerReaction, ProcId, Transaction};
+use memories_host::{AccessKind, HostConfig, HostMachine};
+use memories_workloads::{OltpConfig, OltpWorkload, RefKind, Workload, WorkloadEvent};
+
+struct Tap(Rc<RefCell<NumaEmulator>>);
+
+impl BusListener for Tap {
+    fn on_transaction(&mut self, txn: &Transaction) -> ListenerReaction {
+        self.0.borrow_mut().on_transaction(txn)
+    }
+}
+
+fn run(dir_sets: usize, remote_cache: bool, refs: u64) -> NumaEmulator {
+    let l3 = CacheParams::builder()
+        .capacity(2 << 20)
+        .ways(4)
+        .allow_scaled_down()
+        .build()
+        .unwrap();
+    let mut config = NumaConfig::four_node(
+        (0..8).map(ProcId::new),
+        l3,
+        DirectoryParams {
+            sets: dir_sets,
+            ways: 8,
+            line_size: 128,
+        },
+    )
+    .unwrap();
+    if remote_cache {
+        config.remote_cache = Some(
+            CacheParams::builder()
+                .capacity(1 << 20)
+                .ways(4)
+                .allow_scaled_down()
+                .build()
+                .unwrap(),
+        );
+    }
+    let host = HostConfig {
+        inner_cache: None,
+        outer_cache: Geometry::new(64 << 10, 4, 128).unwrap(),
+        ..HostConfig::s7a()
+    };
+    let mut machine = HostMachine::new(host).unwrap();
+    let shared = Rc::new(RefCell::new(NumaEmulator::new(config).unwrap()));
+    machine.attach_listener(Box::new(Tap(Rc::clone(&shared))));
+
+    let mut w = OltpWorkload::new(OltpConfig {
+        journal: None,
+        ..OltpConfig::scaled_default()
+    });
+    let mut done = 0;
+    while done < refs {
+        match w.next_event() {
+            WorkloadEvent::Ref(r) => {
+                let kind = match r.kind {
+                    RefKind::Load => AccessKind::Load,
+                    RefKind::Store => AccessKind::Store,
+                };
+                machine.access(r.cpu, kind, r.addr);
+                done += 1;
+            }
+            WorkloadEvent::Instructions { cpu, count } => machine.tick_instructions(cpu, count),
+            WorkloadEvent::Dma { write: true, addr } => machine.dma_write(addr),
+            WorkloadEvent::Dma { write: false, addr } => machine.dma_read(addr),
+        }
+    }
+    drop(machine.detach_listeners());
+    Rc::try_unwrap(shared)
+        .ok()
+        .expect("last handle")
+        .into_inner()
+}
+
+#[test]
+fn four_way_striping_splits_requests_roughly_evenly() {
+    let e = run(4096, false, 60_000);
+    let c = e.counters();
+    let total = c.local_requests + c.remote_requests;
+    assert!(total > 10_000, "too little directory traffic: {total}");
+    // With 4 nodes and 4 KB striping over a large footprint, ~3/4 of
+    // requests are remote.
+    let frac = c.remote_fraction();
+    assert!(
+        (0.6..0.9).contains(&frac),
+        "remote fraction {frac:.3} outside the striped expectation"
+    );
+}
+
+#[test]
+fn bigger_directories_evict_less() {
+    let small = run(64, false, 60_000);
+    let large = run(8192, false, 60_000);
+    assert!(
+        small.counters().directory_evictions > large.counters().directory_evictions,
+        "small dir {} evictions vs large dir {}",
+        small.counters().directory_evictions,
+        large.counters().directory_evictions
+    );
+    // Eviction invalidations track evictions.
+    assert!(small.counters().eviction_invalidations > 0);
+}
+
+#[test]
+fn remote_cache_absorbs_repeat_remote_traffic() {
+    let e = run(4096, true, 60_000);
+    let c = e.counters();
+    let total = c.remote_cache_hits + c.remote_cache_misses;
+    assert_eq!(
+        total, c.remote_requests,
+        "remote cache must see every remote request"
+    );
+    assert!(
+        c.remote_cache_hits > 0,
+        "no remote-cache hits despite OLTP reuse"
+    );
+}
