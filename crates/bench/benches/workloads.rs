@@ -8,12 +8,14 @@ use std::hint::black_box;
 use memories_workloads::splash::{Barnes, Fft, Fmm, Ocean, Water};
 use memories_workloads::{DssConfig, DssWorkload, OltpConfig, OltpWorkload, Workload};
 
+type Maker = Box<dyn Fn() -> Box<dyn Workload>>;
+
 fn bench_generators(c: &mut Criterion) {
     const EVENTS: u64 = 200_000;
     let mut group = c.benchmark_group("workload_events");
     group.throughput(Throughput::Elements(EVENTS));
 
-    let makers: Vec<(&str, Box<dyn Fn() -> Box<dyn Workload>>)> = vec![
+    let makers: Vec<(&str, Maker)> = vec![
         (
             "tpcc",
             Box::new(|| Box::new(OltpWorkload::new(OltpConfig::scaled_default()))),

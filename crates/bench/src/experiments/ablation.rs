@@ -10,7 +10,7 @@
 use memories::{BoardConfig, CacheParams, NodeSlot, ReplacementPolicy};
 use memories_bus::ProcId;
 use memories_console::report::{bytes, Table};
-use memories_console::Experiment;
+use memories_console::EmulationSession;
 use memories_workloads::{DssConfig, DssWorkload, OltpConfig, OltpWorkload, Workload};
 
 use super::{scaled_host, Scale};
@@ -37,8 +37,12 @@ pub struct Ablation {
 
 fn run_slots(slots: Vec<NodeSlot>, workload: &mut dyn Workload, refs: u64) -> Vec<f64> {
     let board = BoardConfig::from_slots(slots).expect("ablation slots are valid");
-    let exp = Experiment::new(scaled_host(256 << 10, 4), board).expect("valid experiment");
-    let result = exp.run(workload, refs);
+    let session = EmulationSession::builder()
+        .host(scaled_host(256 << 10, 4))
+        .board(board)
+        .build()
+        .expect("valid session");
+    let result = session.run(workload, refs).expect("ablation run succeeds");
     result.node_stats.iter().map(|s| s.miss_ratio()).collect()
 }
 

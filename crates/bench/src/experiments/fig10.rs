@@ -13,7 +13,7 @@ use memories::BoardConfig;
 use memories_bus::ProcId;
 use memories_console::analysis::detect_spikes;
 use memories_console::report::Table;
-use memories_console::{Experiment, ProfilePoint};
+use memories_console::{EmulationSession, ProfilePoint};
 use memories_workloads::{JournalConfig, OltpConfig, OltpWorkload};
 
 use super::{scaled_cache, scaled_host, Scale};
@@ -64,9 +64,15 @@ pub fn run(scale: Scale) -> Fig10 {
     )
     .unwrap();
 
-    let exp = Experiment::new(scaled_host(256 << 10, 4), board).unwrap();
+    let session = EmulationSession::builder()
+        .host(scaled_host(256 << 10, 4))
+        .board(board)
+        .build()
+        .unwrap();
     let mut workload = OltpWorkload::new(workload_config);
-    let result = exp.run_profiled(&mut workload, refs, window_refs);
+    let result = session
+        .run_profiled(&mut workload, refs, window_refs)
+        .unwrap();
 
     // Spike detection: clearly above the config's median plateau. An
     // absolute margin is used because the small direct-mapped cache's

@@ -10,7 +10,7 @@
 use memories::BoardConfig;
 use memories_bus::ProcId;
 use memories_console::report::{bytes, Table};
-use memories_console::Experiment;
+use memories_console::EmulationSession;
 use memories_workloads::splash::{Barnes, Fft, Fmm, Ocean, Water};
 use memories_workloads::Workload;
 
@@ -62,9 +62,14 @@ pub fn run(scale: Scale) -> Fig11 {
                 let board =
                     BoardConfig::parallel_configs(configs, (0..8).map(ProcId::new).collect())
                         .unwrap();
-                let exp = Experiment::new(scaled_host(128 << 10, 4), board).unwrap();
+                let session = EmulationSession::builder()
+                    .host(scaled_host(128 << 10, 4))
+                    .board(board)
+                    .parallelism(batch.len())
+                    .build()
+                    .unwrap();
                 let mut workload = make();
-                let result = exp.run(&mut *workload, refs);
+                let result = session.run(&mut *workload, refs).unwrap();
                 for (i, &cap) in batch.iter().enumerate() {
                     points.push((cap, result.node_stats[i].miss_ratio()));
                 }

@@ -16,7 +16,7 @@
 use memories::{BoardConfig, FillBreakdown};
 use memories_bus::ProcId;
 use memories_console::report::Table;
-use memories_console::Experiment;
+use memories_console::EmulationSession;
 use memories_workloads::splash::{Fft, Fmm, Ocean};
 use memories_workloads::Workload;
 
@@ -56,9 +56,13 @@ fn measure(app: &str, make: &dyn Fn() -> Box<dyn Workload>, nodes: usize, refs: 
         })
         .collect();
     let board = BoardConfig::multi_node(params, partitions).unwrap();
-    let exp = Experiment::new(scaled_host(128 << 10, 4), board).unwrap();
+    let session = EmulationSession::builder()
+        .host(scaled_host(128 << 10, 4))
+        .board(board)
+        .build()
+        .unwrap();
     let mut workload = make();
-    let result = exp.run(&mut *workload, refs);
+    let result = session.run(&mut *workload, refs).unwrap();
 
     // Aggregate the breakdown over nodes, weighted by fill counts.
     let mut totals = [0u64; 4];

@@ -15,7 +15,7 @@
 use memories::BoardConfig;
 use memories_bus::ProcId;
 use memories_console::report::{bytes, Table};
-use memories_console::Experiment;
+use memories_console::EmulationSession;
 use memories_workloads::{DssConfig, DssWorkload, OltpConfig, OltpWorkload, Workload};
 
 use super::{scaled_cache, scaled_host, Scale};
@@ -55,9 +55,16 @@ fn sweep(
         let configs = batch.iter().map(|&c| scaled_cache(c, 8, 128)).collect();
         let board =
             BoardConfig::parallel_configs(configs, (0..8).map(ProcId::new).collect()).unwrap();
-        let exp = Experiment::new(scaled_host(256 << 10, 4), board).unwrap();
+        // Each configuration is its own coherence domain, so the sweep
+        // shards across all of them.
+        let session = EmulationSession::builder()
+            .host(scaled_host(256 << 10, 4))
+            .board(board)
+            .parallelism(batch.len())
+            .build()
+            .unwrap();
         let mut workload = make_workload();
-        let result = exp.run(&mut *workload, refs);
+        let result = session.run(&mut *workload, refs).unwrap();
         for (i, &cap) in batch.iter().enumerate() {
             points.push((cap, result.node_stats[i].miss_ratio()));
         }

@@ -15,7 +15,7 @@
 use memories::{BoardConfig, NodeSlot};
 use memories_bus::ProcId;
 use memories_console::report::Table;
-use memories_console::Experiment;
+use memories_console::EmulationSession;
 use memories_workloads::{OltpConfig, OltpWorkload};
 
 use super::{scaled_cache, scaled_host, Scale};
@@ -60,12 +60,16 @@ fn board_for(procs_per_l3: usize) -> BoardConfig {
 }
 
 fn measure(procs_per_l3: usize, refs: u64) -> f64 {
-    let exp = Experiment::new(scaled_host(256 << 10, 4), board_for(procs_per_l3)).unwrap();
+    let session = EmulationSession::builder()
+        .host(scaled_host(256 << 10, 4))
+        .board(board_for(procs_per_l3))
+        .build()
+        .unwrap();
     let mut workload = OltpWorkload::new(OltpConfig {
         journal: None,
         ..OltpConfig::scaled_default()
     });
-    let result = exp.run(&mut workload, refs);
+    let result = session.run(&mut workload, refs).unwrap();
     // Average over nodes, weighted by references.
     let (mut misses, mut refs_seen) = (0u64, 0u64);
     for s in &result.node_stats {

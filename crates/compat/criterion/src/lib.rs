@@ -1,0 +1,296 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the `criterion` API subset its benches use: `Criterion`,
+//! benchmark groups, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is intentionally simple: each `Bencher::iter` call runs a
+//! short warmup, then `sample_size` timed runs, and prints the median,
+//! minimum, and derived throughput to stdout. There is no statistical
+//! regression analysis, no HTML report, and no `target/criterion` state;
+//! numbers are honest wall-clock medians suitable for before/after
+//! comparisons on an idle machine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units for reporting per-iteration throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter string.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs one benchmark's iterations and collects timings.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `sample_size` runs of `routine` (after one warmup run).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        self.samples.clear();
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn fmt_rate(per_second: f64, unit: &str) -> String {
+    if per_second >= 1e9 {
+        format!("{:.3} G{unit}/s", per_second / 1e9)
+    } else if per_second >= 1e6 {
+        format!("{:.3} M{unit}/s", per_second / 1e6)
+    } else if per_second >= 1e3 {
+        format!("{:.3} K{unit}/s", per_second / 1e3)
+    } else {
+        format!("{per_second:.1} {unit}/s")
+    }
+}
+
+fn report(
+    group: Option<&str>,
+    id: &BenchmarkId,
+    samples: &mut [Duration],
+    thr: Option<Throughput>,
+) {
+    assert!(!samples.is_empty(), "Bencher::iter was never called");
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    let name = match group {
+        Some(g) => format!("{g}/{}", id.id),
+        None => id.id.clone(),
+    };
+    let throughput = match thr {
+        Some(Throughput::Elements(n)) => {
+            format!(
+                "  thrpt: {}",
+                fmt_rate(n as f64 / median.as_secs_f64(), "elem")
+            )
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  thrpt: {}",
+                fmt_rate(n as f64 / median.as_secs_f64(), "B")
+            )
+        }
+        None => String::new(),
+    };
+    println!(
+        "{name:<40} time: [{} {} {}]{throughput}",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(max),
+    );
+}
+
+/// A set of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Benchmarks `routine`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            sample_size: self.criterion.sample_size,
+            samples: Vec::new(),
+        };
+        routine(&mut bencher);
+        report(Some(&self.name), &id, &mut bencher.samples, self.throughput);
+        self
+    }
+
+    /// Benchmarks `routine` against one input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Ends the group (reporting happens eagerly; this is for API parity).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness configuration.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed runs each benchmark takes.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        routine(&mut bencher);
+        report(None, &id, &mut bencher.samples, None);
+        self
+    }
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_work(c: &mut Criterion) {
+        let mut group = c.benchmark_group("test_group");
+        group.throughput(Throughput::Elements(1000));
+        group.bench_with_input(BenchmarkId::from_parameter("case"), &1000u64, |b, &n| {
+            b.iter(|| (0..n).map(black_box).sum::<u64>())
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        busy_work(&mut c);
+        c.bench_function("top_level", |b| b.iter(|| black_box(1)));
+    }
+
+    criterion_group!(name = bench_a; config = Criterion::default().sample_size(2); targets = busy_work);
+    criterion_group!(bench_b, busy_work);
+
+    #[test]
+    fn group_macros_expand() {
+        bench_a();
+        bench_b();
+    }
+}

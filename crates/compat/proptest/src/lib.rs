@@ -1,0 +1,253 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the `proptest` API subset its tests use: the [`proptest!`]
+//! macro, [`prop_assert!`]/[`prop_assert_eq!`], range / tuple / `Just` /
+//! weighted-union strategies, `prop::collection::vec`, and
+//! `prop::sample::select`.
+//!
+//! Semantics differ from the real crate in one important way: **there is
+//! no shrinking**. A failing case reports its case index (cases are
+//! deterministic per index, so a failure reproduces exactly), but the
+//! input is not minimized. Input generation is seeded per case index and
+//! is stable across runs and platforms.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::collection` — collection strategies.
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s whose length is drawn from `len` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy::new(element, len)
+    }
+}
+
+/// `prop::sample` — sampling from explicit value lists.
+pub mod sample {
+    use crate::strategy::Select;
+
+    /// A strategy drawing uniformly from `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics at generation time if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select::new(options)
+    }
+}
+
+/// The traditional glob-import surface: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// The `prop::` module tree (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Runs one property as `cases` deterministic random cases.
+///
+/// This is the engine behind the [`proptest!`] macro; the macro passes a
+/// closure taking a fresh [`test_runner::TestRng`] per case.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) on the first failing case.
+pub fn run_cases<F>(config: &test_runner::ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+{
+    for index in 0..config.cases {
+        let mut rng = test_runner::TestRng::for_case(u64::from(index));
+        if let Err(e) = case(&mut rng) {
+            panic!(
+                "proptest case {index}/{} failed (no shrinking in offline stub): {e}",
+                config.cases
+            );
+        }
+    }
+}
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(40))]
+///     #[test]
+///     fn holds(x in 0u64..100, v in prop::collection::vec(0u8..4, 1..10)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::run_cases(&config, |__proptest_rng| {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), __proptest_rng);
+                    )*
+                    $body
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (not panicking) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            l,
+                            r
+                        )),
+                    );
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// A union of strategies, optionally weighted (`3 => strat` arms).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for sink in [&mut first, &mut second] {
+            crate::run_cases(&ProptestConfig::with_cases(10), |rng| {
+                sink.push(Strategy::generate(&(0u64..1000), rng));
+                Ok(())
+            });
+        }
+        assert_eq!(first, second);
+        assert!(first.iter().any(|v| *v != first[0]), "cases vary");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs_respect_bounds(
+            x in 5u64..50,
+            v in prop::collection::vec(0u8..4, 1..10),
+        ) {
+            prop_assert!((5..50).contains(&x), "x out of range: {x}");
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            for e in &v {
+                prop_assert!(*e < 4);
+            }
+        }
+
+        #[test]
+        fn maps_tuples_unions_and_select_compose(
+            pair in (0u8..3, 10u64..20).prop_map(|(a, b)| (b, a)),
+            pick in prop_oneof![2 => Just(1u32), 1 => Just(2)],
+            word in crate::sample::select(vec!["a", "b", "c"]),
+        ) {
+            prop_assert!(pair.0 >= 10 && pair.1 < 3);
+            prop_assert!(pick == 1 || pick == 2);
+            prop_assert!(["a", "b", "c"].contains(&word));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_case_panics_with_index() {
+        crate::run_cases(&ProptestConfig::with_cases(5), |rng| {
+            let v: u64 = Strategy::generate(&(0u64..10), rng);
+            prop_assert!(v > 100, "forced failure {v}");
+            Ok(())
+        });
+    }
+}

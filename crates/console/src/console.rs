@@ -53,6 +53,16 @@ impl From<BoardError> for ConsoleError {
     }
 }
 
+impl From<ConsoleError> for memories::Error {
+    fn from(e: ConsoleError) -> Self {
+        match e {
+            ConsoleError::NoSuchNode { node } => memories::Error::NoSuchNode { node },
+            ConsoleError::Protocol(e) => memories::Error::Protocol(e),
+            ConsoleError::Board(e) => memories::Error::Board(e),
+        }
+    }
+}
+
 /// The console's board-programming session: accumulate node slots, load
 /// protocol map files, then initialize the board — the software
 /// equivalent of the power-up + parameter-setting flow of §2.
@@ -77,10 +87,15 @@ impl From<BoardError> for ConsoleError {
 /// # }
 /// ```
 #[derive(Clone, Debug, Default)]
+#[deprecated(
+    since = "0.2.0",
+    note = "use EmulationSession::builder() — it programs the board and runs workloads in one flow"
+)]
 pub struct Console {
     slots: Vec<NodeSlot>,
 }
 
+#[allow(deprecated)]
 impl Console {
     /// Starts an empty programming session.
     pub fn new() -> Self {
@@ -182,6 +197,7 @@ impl Console {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use memories_protocol::standard;

@@ -6,30 +6,38 @@
 //! initialization of the MemorIES board, cache parameter setting, and
 //! statistics extraction" (§2). Here the console is a library:
 //!
-//! * [`Console`] — builds and initializes a board from parameter settings
-//!   and protocol map files, mirroring the power-up flow.
-//! * [`Experiment`] / [`ExperimentResult`] — wires a host machine, a
-//!   workload, and a board together; runs a given number of references;
-//!   extracts statistics (including windowed miss-ratio profiles for the
-//!   Figure 10 style plots).
+//! * [`EmulationSession`] — the unified front door: one builder programs
+//!   the board (parameters, protocol map files, coherence domains) and
+//!   the host, then `.run(...)` drives a live workload — serially or
+//!   across parallel snoop shards — and `.replay(...)` re-runs a
+//!   captured trace. Errors unify under [`memories::Error`].
+//! * [`ExperimentResult`] — the statistics extracted from a run
+//!   (including windowed miss-ratio profiles for the Figure 10 style
+//!   plots).
 //! * [`report`] — ASCII table and CSV rendering for the `repro` harness.
+//!
+//! The original split API — [`Console`] (board programming),
+//! [`Experiment`] (live runs), [`replay_trace`] (offline replay) — is
+//! deprecated but still works; everything forwards to the same
+//! machinery.
 //!
 //! # Examples
 //!
 //! ```
-//! use memories::{BoardConfig, CacheParams};
-//! use memories_bus::ProcId;
-//! use memories_console::Experiment;
+//! use memories::CacheParams;
+//! use memories_console::EmulationSession;
 //! use memories_host::HostConfig;
 //! use memories_workloads::micro::UniformRandom;
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # fn main() -> Result<(), memories::Error> {
 //! let params = CacheParams::builder()
 //!     .capacity(1 << 20).allow_scaled_down().build()?;
-//! let board = BoardConfig::single_node(params, (0..2).map(ProcId::new))?;
-//! let host = HostConfig { num_cpus: 2, ..HostConfig::s7a() };
+//! let session = EmulationSession::builder()
+//!     .host(HostConfig { num_cpus: 2, ..HostConfig::s7a() })
+//!     .node(params)
+//!     .build()?;
 //! let mut workload = UniformRandom::new(2, 8 << 20, 0.3, 1);
-//! let result = Experiment::new(host, board)?.run(&mut workload, 10_000);
+//! let result = session.run(&mut workload, 10_000)?;
 //! assert!(result.node_stats[0].demand_references() > 0);
 //! # Ok(())
 //! # }
@@ -42,8 +50,12 @@ pub mod analysis;
 mod console;
 pub mod report;
 mod runner;
+mod session;
 mod shared;
 
+#[allow(deprecated)]
 pub use console::{Console, ConsoleError};
+#[allow(deprecated)]
 pub use runner::{replay_trace, Experiment, ExperimentError, ExperimentResult, ProfilePoint};
+pub use session::{EmulationSession, EmulationSessionBuilder, ReplayResult, SessionError};
 pub use shared::Shared;

@@ -49,6 +49,15 @@ impl From<BoardError> for ExperimentError {
     }
 }
 
+impl From<ExperimentError> for memories::Error {
+    fn from(e: ExperimentError) -> Self {
+        match e {
+            ExperimentError::Host(e) => memories::Error::host(e),
+            ExperimentError::Board(e) => memories::Error::Board(e),
+        }
+    }
+}
+
 /// One point of a windowed miss-ratio profile (the Figure 10 series).
 #[derive(Clone, Debug, PartialEq)]
 pub struct ProfilePoint {
@@ -81,11 +90,16 @@ pub struct ExperimentResult {
 /// A host machine with a MemorIES board attached, ready to run a
 /// workload — the standard harness behind every case-study
 /// reproduction.
+#[deprecated(
+    since = "0.2.0",
+    note = "use EmulationSession::builder()...build()?.run(...) — the unified session API"
+)]
 pub struct Experiment {
     machine: HostMachine,
     board: Shared<MemoriesBoard>,
 }
 
+#[allow(deprecated)]
 impl Experiment {
     /// Builds the host, builds the board, and attaches the board to the
     /// host's bus.
@@ -202,6 +216,7 @@ impl Experiment {
     }
 }
 
+#[allow(deprecated)]
 impl fmt::Debug for Experiment {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Experiment")
@@ -220,6 +235,10 @@ impl fmt::Debug for Experiment {
 /// # Errors
 ///
 /// Propagates trace decoding errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "use EmulationSession::builder()...build()?.replay(...) — it can also shard the replay"
+)]
 pub fn replay_trace<I, E>(
     board: &mut MemoriesBoard,
     records: I,
@@ -240,6 +259,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use memories::CacheParams;

@@ -1,0 +1,616 @@
+//! The unified emulation session: one builder, one error type, serial or
+//! sharded execution.
+//!
+//! [`EmulationSession`] replaces the trio of `Console` (board
+//! programming), `Experiment` (live runs), and `replay_trace` (offline
+//! replay) with a single front door:
+//!
+//! ```
+//! use memories::CacheParams;
+//! use memories_console::EmulationSession;
+//! use memories_host::HostConfig;
+//! use memories_protocol::standard;
+//! use memories_workloads::micro::UniformRandom;
+//!
+//! # fn main() -> Result<(), memories::Error> {
+//! let params = CacheParams::builder()
+//!     .capacity(1 << 20).allow_scaled_down().build()?;
+//! let session = EmulationSession::builder()
+//!     .host(HostConfig { num_cpus: 2, ..HostConfig::s7a() })
+//!     .node(params)
+//!     .protocol(standard::MSI_MAP)
+//!     .parallelism(2)
+//!     .build()?;
+//! let mut workload = UniformRandom::new(2, 8 << 20, 0.3, 1);
+//! let result = session.run(&mut workload, 10_000)?;
+//! assert!(result.node_stats[0].demand_references() > 0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Every failure converts into the workspace-wide [`memories::Error`]
+//! (`enum Error` in the `memories` crate), so callers thread one error
+//! type end to end.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use memories::{
+    BoardConfig, CacheParams, Error, FilterConfig, MemoriesBoard, NodeSlot, TimingConfig,
+};
+use memories_bus::{BusListener, ListenerReaction, NodeId, ProcId, Transaction};
+use memories_host::{AccessKind, HostConfig, HostMachine};
+use memories_protocol::ProtocolTable;
+use memories_sim::{EmulationEngine, EngineConfig};
+use memories_trace::TraceRecord;
+use memories_workloads::{RefKind, Workload, WorkloadEvent};
+
+use crate::runner::ExperimentResult;
+use crate::shared::Shared;
+
+/// Session-builder misuse, distinct from configuration validation (which
+/// the component crates report themselves).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SessionError {
+    /// `run` needs a host machine; call `.host(...)` on the builder.
+    MissingHost,
+    /// `.protocol(...)` / `.domain(...)` apply to the most recently added
+    /// node, but no node has been added yet.
+    NoNodeYet,
+    /// Neither `.node(...)` nor `.board(...)` configured any emulated
+    /// cache.
+    NoNodes,
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::MissingHost => {
+                write!(
+                    f,
+                    "running a workload needs a host machine: call .host(config)"
+                )
+            }
+            SessionError::NoNodeYet => write!(
+                f,
+                "per-node builder calls apply to the latest .node(...); add a node first"
+            ),
+            SessionError::NoNodes => write!(f, "the session has no emulated cache nodes"),
+        }
+    }
+}
+
+impl StdError for SessionError {}
+
+impl From<SessionError> for Error {
+    fn from(e: SessionError) -> Self {
+        Error::other(e)
+    }
+}
+
+/// Builder for [`EmulationSession`] — the console's power-up flow as a
+/// fluent API: host settings, node slots with per-node protocol map
+/// files, and execution parallelism.
+#[derive(Clone, Debug, Default)]
+pub struct EmulationSessionBuilder {
+    host: Option<HostConfig>,
+    board: Option<BoardConfig>,
+    slots: Vec<NodeSlot>,
+    filter: Option<FilterConfig>,
+    timing: Option<TimingConfig>,
+    allow_retry: Option<bool>,
+    parallelism: usize,
+    batch: Option<usize>,
+    misuse: Option<SessionError>,
+    parse_error: Option<memories_protocol::ProtocolParseError>,
+}
+
+impl EmulationSessionBuilder {
+    /// Sets the host machine configuration (required for live runs; a
+    /// replay-only session can omit it).
+    #[must_use]
+    pub fn host(mut self, config: HostConfig) -> Self {
+        self.host = Some(config);
+        self
+    }
+
+    /// Adds an emulated cache node covering every host CPU (MESI, domain
+    /// 0). Follow with [`protocol`](Self::protocol) /
+    /// [`domain`](Self::domain) / [`cpus`](Self::cpus) to adjust it.
+    #[must_use]
+    pub fn node(mut self, params: CacheParams) -> Self {
+        // CPUs are resolved against the host at build time; a placeholder
+        // empty list marks "all host CPUs".
+        self.slots.push(NodeSlot::new(params, []));
+        self
+    }
+
+    /// Restricts the latest node to specific host CPUs.
+    #[must_use]
+    pub fn cpus<I: IntoIterator<Item = ProcId>>(mut self, cpus: I) -> Self {
+        match self.slots.last_mut() {
+            Some(slot) => slot.cpus = cpus.into_iter().collect(),
+            None => {
+                self.misuse.get_or_insert(SessionError::NoNodeYet);
+            }
+        }
+        self
+    }
+
+    /// Loads a protocol map file (the §3.2 table-lookup format) into the
+    /// latest node. Parse errors surface at [`build`](Self::build).
+    #[must_use]
+    pub fn protocol(mut self, map_text: &str) -> Self {
+        match ProtocolTable::parse_map_file(map_text) {
+            Ok(table) => self.protocol_table(table),
+            Err(e) => {
+                self.parse_error.get_or_insert(e);
+                self
+            }
+        }
+    }
+
+    /// Loads an already-parsed protocol table into the latest node.
+    #[must_use]
+    pub fn protocol_table(mut self, table: ProtocolTable) -> Self {
+        match self.slots.last_mut() {
+            Some(slot) => slot.protocol = table,
+            None => {
+                self.misuse.get_or_insert(SessionError::NoNodeYet);
+            }
+        }
+        self
+    }
+
+    /// Places the latest node in a coherence domain (Figure 4 parallel
+    /// configurations).
+    #[must_use]
+    pub fn domain(mut self, domain: u8) -> Self {
+        match self.slots.last_mut() {
+            Some(slot) => slot.domain = domain,
+            None => {
+                self.misuse.get_or_insert(SessionError::NoNodeYet);
+            }
+        }
+        self
+    }
+
+    /// Uses an explicit board configuration instead of accumulated
+    /// `.node(...)` calls (which are then rejected at build).
+    #[must_use]
+    pub fn board(mut self, config: BoardConfig) -> Self {
+        self.board = Some(config);
+        self
+    }
+
+    /// Overrides the address-filter settings.
+    #[must_use]
+    pub fn filter(mut self, config: FilterConfig) -> Self {
+        self.filter = Some(config);
+        self
+    }
+
+    /// Overrides the SDRAM/buffer timing settings.
+    #[must_use]
+    pub fn timing(mut self, config: TimingConfig) -> Self {
+        self.timing = Some(config);
+        self
+    }
+
+    /// Whether buffer overflow posts a bus retry (default true).
+    #[must_use]
+    pub fn allow_retry(mut self, allow: bool) -> Self {
+        self.allow_retry = Some(allow);
+        self
+    }
+
+    /// Number of parallel snoop shards (default 1 = serial). Values above
+    /// the board's coherence-domain count are capped; see
+    /// [`EmulationEngine`].
+    #[must_use]
+    pub fn parallelism(mut self, shards: usize) -> Self {
+        self.parallelism = shards;
+        self
+    }
+
+    /// Admitted transactions per broadcast batch in parallel mode.
+    #[must_use]
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = Some(batch);
+        self
+    }
+
+    /// Validates everything and produces a runnable session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`memories::Error`] for builder misuse, protocol map parse
+    /// failures, invalid board shapes, or an invalid host configuration.
+    pub fn build(self) -> Result<EmulationSession, Error> {
+        if let Some(misuse) = self.misuse {
+            return Err(misuse.into());
+        }
+        if let Some(e) = self.parse_error {
+            return Err(e.into());
+        }
+        let mut board = match (self.board, self.slots) {
+            (Some(board), _) => board,
+            (None, slots) if slots.is_empty() => return Err(SessionError::NoNodes.into()),
+            (None, mut slots) => {
+                // Empty CPU lists mean "every host CPU".
+                let all: Vec<ProcId> = match &self.host {
+                    Some(h) => (0..h.num_cpus as u8).map(ProcId::new).collect(),
+                    None => (0..8).map(ProcId::new).collect(),
+                };
+                for slot in &mut slots {
+                    if slot.cpus.is_empty() {
+                        slot.cpus = all.clone();
+                    }
+                }
+                BoardConfig::from_slots(slots)?
+            }
+        };
+        if let Some(filter) = self.filter {
+            board.filter = filter;
+        }
+        if let Some(timing) = self.timing {
+            board.timing = timing;
+        }
+        if let Some(allow) = self.allow_retry {
+            board.allow_retry = allow;
+        }
+        // Validate both configurations eagerly: a session that builds,
+        // runs.
+        MemoriesBoard::new(board.clone())?;
+        if let Some(host) = &self.host {
+            HostMachine::new(host.clone()).map_err(Error::host)?;
+        }
+        Ok(EmulationSession {
+            host: self.host,
+            board,
+            parallelism: self.parallelism.max(1),
+            batch: self.batch.unwrap_or(EngineConfig::DEFAULT_BATCH),
+        })
+    }
+}
+
+/// The outcome of [`EmulationSession::replay`].
+#[derive(Debug)]
+pub struct ReplayResult {
+    /// The board after replaying the whole trace.
+    pub board: MemoriesBoard,
+    /// Trace records replayed.
+    pub records: u64,
+}
+
+/// A validated emulation setup, ready to run a live workload or replay a
+/// captured trace, serially or across parallel snoop shards.
+///
+/// Built by [`EmulationSession::builder`]. With `parallelism(1)` (the
+/// default) execution matches the classic attached-listener path exactly;
+/// higher parallelism fans admitted transactions out to whole-domain
+/// [`memories::NodeShard`]s on worker threads and produces bit-identical
+/// counters (see [`EmulationEngine`]).
+#[derive(Clone, Debug)]
+pub struct EmulationSession {
+    host: Option<HostConfig>,
+    board: BoardConfig,
+    parallelism: usize,
+    batch: usize,
+}
+
+impl EmulationSession {
+    /// Starts a session builder.
+    pub fn builder() -> EmulationSessionBuilder {
+        EmulationSessionBuilder::default()
+    }
+
+    /// The validated board configuration.
+    pub fn board_config(&self) -> &BoardConfig {
+        &self.board
+    }
+
+    /// Configured shard parallelism.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Drives `refs` workload references through the host machine with
+    /// the board snooping, and returns the collected statistics.
+    ///
+    /// With parallelism above 1 the board's buffer-overflow retry cannot
+    /// feed back into the live bus (batching reports it after the fact);
+    /// healthy runs post zero retries (§3.3), and the retry *count* is
+    /// exact either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError::MissingHost`] (as [`memories::Error`]) if
+    /// the builder never got a host configuration.
+    pub fn run(&self, workload: &mut dyn Workload, refs: u64) -> Result<ExperimentResult, Error> {
+        self.run_profiled(workload, refs, 0)
+    }
+
+    /// Like [`EmulationSession::run`], additionally sampling a per-window
+    /// miss ratio every `window_refs` references (pass 0 for no profile).
+    /// Profiling reads node statistics mid-run, so it forces the serial
+    /// path regardless of configured parallelism.
+    ///
+    /// # Errors
+    ///
+    /// As [`EmulationSession::run`].
+    pub fn run_profiled(
+        &self,
+        workload: &mut dyn Workload,
+        refs: u64,
+        window_refs: u64,
+    ) -> Result<ExperimentResult, Error> {
+        let host = self.host.clone().ok_or(SessionError::MissingHost)?;
+        if self.parallelism <= 1 || window_refs > 0 {
+            #[allow(deprecated)] // Experiment remains the serial engine room.
+            let experiment =
+                crate::runner::Experiment::new(host, self.board.clone()).map_err(Error::from)?;
+            return Ok(experiment.run_profiled(workload, refs, window_refs));
+        }
+
+        let mut machine = HostMachine::new(host).map_err(Error::host)?;
+        let board = MemoriesBoard::new(self.board.clone())?;
+        let engine = Shared::new(EmulationEngine::new(
+            board,
+            EngineConfig::parallel(self.parallelism).with_batch(self.batch),
+        ));
+        machine.attach_listener(Box::new(EngineFeed(engine.handle())));
+
+        let mut done: u64 = 0;
+        while done < refs {
+            match workload.next_event() {
+                WorkloadEvent::Ref(r) => {
+                    let kind = match r.kind {
+                        RefKind::Load => AccessKind::Load,
+                        RefKind::Store => AccessKind::Store,
+                    };
+                    machine.access(r.cpu, kind, r.addr);
+                    done += 1;
+                }
+                WorkloadEvent::Instructions { cpu, count } => {
+                    machine.tick_instructions(cpu, count);
+                }
+                WorkloadEvent::Dma { write, addr } => {
+                    if write {
+                        machine.dma_write(addr);
+                    } else {
+                        machine.dma_read(addr);
+                    }
+                }
+            }
+        }
+
+        let machine_stats = machine.stats();
+        let bus = machine.bus().stats().clone();
+        drop(machine.detach_listeners());
+        let engine = engine
+            .try_unwrap()
+            .map_err(|_| ())
+            .expect("session holds the last engine handle after detaching listeners");
+        let board = engine.finish()?;
+        Ok(ExperimentResult {
+            node_stats: (0..board.node_count())
+                .map(|i| board.node_stats(NodeId::new(i as u8)))
+                .collect(),
+            machine: machine_stats,
+            bus,
+            retries_posted: board.retries_posted(),
+            profile: Vec::new(),
+            board,
+        })
+    }
+
+    /// Replays captured trace records through a fresh board offline — the
+    /// paper's repeatable off-line analysis path (§1) — re-timed at
+    /// `cycle_spacing` bus cycles per record (60 ≈ the paper's 20%
+    /// utilization point). Uses the configured parallelism.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace decoding errors (anything convertible into
+    /// [`memories::Error`]).
+    pub fn replay<I, E>(&self, records: I, cycle_spacing: u64) -> Result<ReplayResult, Error>
+    where
+        I: IntoIterator<Item = Result<TraceRecord, E>>,
+        E: Into<Error>,
+    {
+        let board = MemoriesBoard::new(self.board.clone())?;
+        let config = if self.parallelism <= 1 {
+            EngineConfig::serial()
+        } else {
+            EngineConfig::parallel(self.parallelism).with_batch(self.batch)
+        };
+        let mut engine = EmulationEngine::new(board, config);
+        let mut n = 0u64;
+        for rec in records {
+            let rec = rec.map_err(Into::into)?;
+            engine.feed(&rec.to_transaction(n, n * cycle_spacing));
+            n += 1;
+        }
+        Ok(ReplayResult {
+            board: engine.finish()?,
+            records: n,
+        })
+    }
+}
+
+/// Adapts the engine to the bus-listener interface for live runs: every
+/// transaction is fed to the producer side; the reaction is always
+/// `Proceed` (batched snooping cannot retry the live bus).
+struct EngineFeed(Shared<EmulationEngine>);
+
+impl BusListener for EngineFeed {
+    fn on_transaction(&mut self, txn: &Transaction) -> ListenerReaction {
+        self.0.with_mut(|e| e.feed(txn));
+        ListenerReaction::Proceed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memories_protocol::standard;
+    use memories_workloads::micro::UniformRandom;
+
+    fn params(capacity: u64) -> CacheParams {
+        CacheParams::builder()
+            .capacity(capacity)
+            .ways(2)
+            .allow_scaled_down()
+            .build()
+            .unwrap()
+    }
+
+    fn host(cpus: usize) -> HostConfig {
+        HostConfig {
+            num_cpus: cpus,
+            inner_cache: None,
+            outer_cache: memories_bus::Geometry::new(64 << 10, 2, 128).unwrap(),
+            ..HostConfig::s7a()
+        }
+    }
+
+    #[test]
+    fn builder_misuse_is_reported_at_build() {
+        let err = EmulationSession::builder()
+            .protocol(standard::MSI_MAP)
+            .node(params(1 << 20))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("add a node first"), "{err}");
+
+        let err = EmulationSession::builder()
+            .host(host(2))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("no emulated cache nodes"), "{err}");
+
+        let err = EmulationSession::builder()
+            .node(params(1 << 20))
+            .protocol("garbage")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::Protocol(_)), "{err:?}");
+
+        let err = EmulationSession::builder()
+            .node(params(1 << 20))
+            .build()
+            .unwrap()
+            .run(&mut UniformRandom::new(2, 1 << 20, 0.3, 1), 10)
+            .unwrap_err();
+        assert!(err.to_string().contains("host machine"), "{err}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn session_run_matches_the_classic_experiment() {
+        let cfg = BoardConfig::single_node(params(1 << 20), (0..2).map(ProcId::new)).unwrap();
+        let mut w1 = UniformRandom::new(2, 16 << 20, 0.3, 5);
+        let classic = crate::runner::Experiment::new(host(2), cfg)
+            .unwrap()
+            .run(&mut w1, 20_000);
+
+        let session = EmulationSession::builder()
+            .host(host(2))
+            .node(params(1 << 20))
+            .build()
+            .unwrap();
+        let mut w2 = UniformRandom::new(2, 16 << 20, 0.3, 5);
+        let new = session.run(&mut w2, 20_000).unwrap();
+
+        assert_eq!(classic.retries_posted, new.retries_posted);
+        assert_eq!(
+            classic.board.statistics_report(),
+            new.board.statistics_report()
+        );
+        assert_eq!(classic.machine.total_loads(), new.machine.total_loads());
+    }
+
+    #[test]
+    fn parallel_session_matches_serial_bit_for_bit() {
+        let configs = vec![params(1 << 20), params(2 << 20), params(4 << 20)];
+        let cpus: Vec<ProcId> = (0..2).map(ProcId::new).collect();
+        let board = BoardConfig::parallel_configs(configs, cpus).unwrap();
+
+        let run = |parallelism: usize| {
+            let session = EmulationSession::builder()
+                .host(host(2))
+                .board(board.clone())
+                .parallelism(parallelism)
+                .batch(256)
+                .build()
+                .unwrap();
+            let mut w = UniformRandom::new(2, 16 << 20, 0.3, 9);
+            session.run(&mut w, 20_000).unwrap()
+        };
+
+        let serial = run(1);
+        assert_eq!(serial.retries_posted, 0, "healthy run must not retry");
+        for shards in [2, 3] {
+            let par = run(shards);
+            assert_eq!(
+                serial.board.statistics_report(),
+                par.board.statistics_report(),
+                "{shards}-shard run diverged from serial"
+            );
+            assert_eq!(serial.bus.transactions, par.bus.transactions);
+        }
+    }
+
+    #[test]
+    fn replay_matches_a_live_run() {
+        use memories::TraceCapture;
+
+        let cfg = BoardConfig::single_node(params(1 << 20), (0..2).map(ProcId::new)).unwrap();
+        let board = Shared::new(MemoriesBoard::new(cfg.clone()).unwrap());
+        let capture = Shared::new(TraceCapture::new(1 << 20));
+        let mut machine = HostMachine::new(host(2)).unwrap();
+        machine.attach_listener(Box::new(board.handle()));
+        machine.attach_listener(Box::new(capture.handle()));
+        let mut w = UniformRandom::new(2, 8 << 20, 0.3, 3);
+        let mut done = 0;
+        while done < 5_000 {
+            if let WorkloadEvent::Ref(r) = w.next_event() {
+                let kind = match r.kind {
+                    RefKind::Load => AccessKind::Load,
+                    RefKind::Store => AccessKind::Store,
+                };
+                machine.access(r.cpu, kind, r.addr);
+                done += 1;
+            }
+        }
+        drop(machine.detach_listeners());
+
+        let records = capture.with(|c| c.records().to_vec());
+        for parallelism in [1, 2] {
+            let session = EmulationSession::builder()
+                .board(cfg.clone())
+                .parallelism(parallelism)
+                .build()
+                .unwrap();
+            let result = session
+                .replay(
+                    records
+                        .iter()
+                        .cloned()
+                        .map(Ok::<_, std::convert::Infallible>),
+                    60,
+                )
+                .unwrap();
+            assert!(result.records > 0);
+            board.with(|live| {
+                assert_eq!(
+                    live.node(NodeId::new(0)).counters(),
+                    result.board.node(NodeId::new(0)).counters(),
+                    "replay (parallelism {parallelism}) diverged from the live run"
+                );
+            });
+        }
+    }
+}

@@ -100,7 +100,9 @@ mod tests {
         let extra = shared.handle();
         let back = shared.try_unwrap().expect_err("second handle alive");
         drop(extra);
-        let counter = back.try_unwrap().ok().expect("now unique");
+        let Ok(counter) = back.try_unwrap() else {
+            panic!("now unique");
+        };
         assert_eq!(counter.0, 1);
     }
 }

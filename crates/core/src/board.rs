@@ -3,13 +3,14 @@
 use std::fmt;
 
 use memories_bus::{BusListener, BusOp, ListenerReaction, NodeId, ProcId, Transaction};
-use memories_protocol::{standard, ProtocolTable, RemoteSummary};
+use memories_protocol::{standard, ProtocolTable};
 
 use crate::counters::Counter40;
 use crate::error::BoardError;
 use crate::filter::{AddressFilter, FilterConfig, NodePartition};
 use crate::node::NodeController;
 use crate::params::CacheParams;
+use crate::shard::{plan_shards, NodeShard};
 use crate::stats::NodeStats;
 use crate::timing::TimingConfig;
 
@@ -170,13 +171,33 @@ pub struct GlobalCounters {
 
 impl GlobalCounters {
     /// Records one raw bus transaction.
-    fn observe(&mut self, txn: &Transaction) {
+    pub fn observe(&mut self, txn: &Transaction) {
         self.transactions.incr();
         self.by_op[txn.op.index()].incr();
-        if self.first_cycle.is_none() {
-            self.first_cycle = Some(txn.cycle);
-        }
+        self.first_cycle = Some(match self.first_cycle {
+            Some(c) => c.min(txn.cycle),
+            None => txn.cycle,
+        });
         self.last_cycle = self.last_cycle.max(txn.cycle);
+    }
+
+    /// Folds another bank into this one.
+    ///
+    /// Every field is a commutative monoid (counts sum with saturation,
+    /// the run span takes min/max), so observing a transaction stream in
+    /// arbitrary disjoint pieces and merging gives bit-identical counters
+    /// to observing it serially — the property the parallel engine's
+    /// barrier merge relies on.
+    pub fn merge(&mut self, other: &GlobalCounters) {
+        self.transactions.add(other.transactions.value());
+        for (mine, theirs) in self.by_op.iter_mut().zip(&other.by_op) {
+            mine.add(theirs.value());
+        }
+        self.first_cycle = match (self.first_cycle, other.first_cycle) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.last_cycle = self.last_cycle.max(other.last_cycle);
     }
 
     /// Total transactions observed (before filtering).
@@ -200,6 +221,68 @@ impl GlobalCounters {
     }
 }
 
+/// The board's bus-facing stage: address filter, global event counters,
+/// and retry accounting.
+///
+/// [`MemoriesBoard::split`] separates a board into one front end plus
+/// node shards. The front end stays with the transaction producer: it
+/// observes and filters each raw transaction exactly once (so filter and
+/// global statistics are identical to a serial run no matter how many
+/// shards snoop behind it), and accumulates the retries the board would
+/// have posted.
+#[derive(Clone, Debug)]
+pub struct BoardFrontEnd {
+    filter: AddressFilter,
+    global: GlobalCounters,
+    allow_retry: bool,
+    retries_posted: u64,
+}
+
+impl BoardFrontEnd {
+    /// Observes one raw bus transaction (global counters + filter) and
+    /// returns whether it is admitted to the node controllers.
+    pub fn observe(&mut self, txn: &Transaction) -> bool {
+        self.global.observe(txn);
+        self.filter.admit(txn)
+    }
+
+    /// Turns a snoop's overflow flag into the bus reaction, counting the
+    /// retry if the board is configured to post one.
+    pub fn reaction(&mut self, overflow: bool) -> ListenerReaction {
+        if overflow && self.allow_retry {
+            self.retries_posted += 1;
+            ListenerReaction::Retry
+        } else {
+            ListenerReaction::Proceed
+        }
+    }
+
+    /// Credits `overflows` transactions that overflowed some node buffer,
+    /// counting one posted retry each if the board is configured to post
+    /// them — the batched equivalent of [`BoardFrontEnd::reaction`], used
+    /// when shards report overflow after the fact.
+    pub fn record_overflows(&mut self, overflows: u64) {
+        if self.allow_retry {
+            self.retries_posted += overflows;
+        }
+    }
+
+    /// Whether buffer overflow posts a bus retry.
+    pub fn allow_retry(&self) -> bool {
+        self.allow_retry
+    }
+
+    /// The address filter (partition and filter statistics).
+    pub fn filter(&self) -> &AddressFilter {
+        &self.filter
+    }
+
+    /// The global event counters.
+    pub fn global(&self) -> &GlobalCounters {
+        &self.global
+    }
+}
+
 /// The MemorIES board: address filter, global event counters, and up to
 /// four lock-stepped node controllers.
 ///
@@ -212,12 +295,15 @@ impl GlobalCounters {
 /// summaries are computed from the *pre-transaction* directory states,
 /// then every node controller applies its transition — matching the
 /// hardware, where the four FPGAs run in lock step.
+///
+/// Internally the board is a [`BoardFrontEnd`] (filter + global counters)
+/// in front of a single [`NodeShard`] holding every controller; the snoop
+/// path is *the same code* the parallel engine runs per shard, and
+/// [`MemoriesBoard::split`] / [`MemoriesBoard::assemble`] convert between
+/// the two shapes losslessly.
 pub struct MemoriesBoard {
-    filter: AddressFilter,
-    global: GlobalCounters,
-    nodes: Vec<NodeController>,
-    allow_retry: bool,
-    retries_posted: u64,
+    front: BoardFrontEnd,
+    shard: NodeShard,
 }
 
 impl MemoriesBoard {
@@ -238,7 +324,7 @@ impl MemoriesBoard {
                 partition.add_domain_remotes(slot.domain, slot.remote_cpus.iter().copied());
             }
         }
-        let nodes = config
+        let nodes: Vec<NodeController> = config
             .slots
             .iter()
             .enumerate()
@@ -251,28 +337,107 @@ impl MemoriesBoard {
                 )
             })
             .collect();
+        let indices = (0..nodes.len() as u8).collect();
         Ok(MemoriesBoard {
-            filter: AddressFilter::new(config.filter, partition),
-            global: GlobalCounters::default(),
-            nodes,
-            allow_retry: config.allow_retry,
-            retries_posted: 0,
+            front: BoardFrontEnd {
+                filter: AddressFilter::new(config.filter, partition.clone()),
+                global: GlobalCounters::default(),
+                allow_retry: config.allow_retry,
+                retries_posted: 0,
+            },
+            shard: NodeShard::new(partition, indices, nodes),
+        })
+    }
+
+    /// Separates the board into its bus-facing front end and `shards`
+    /// independent node groups for parallel snooping.
+    ///
+    /// Shards own whole coherence domains (see [`NodeShard`]), so the
+    /// effective shard count is capped at the number of domains; at least
+    /// one shard is always returned. Feed every transaction through
+    /// [`BoardFrontEnd::observe`] once, give each admitted transaction to
+    /// *every* shard's [`NodeShard::snoop`] in stream order, then rebuild
+    /// the board with [`MemoriesBoard::assemble`].
+    pub fn split(self, shards: usize) -> (BoardFrontEnd, Vec<NodeShard>) {
+        let partition = self.front.filter.partition().clone();
+        let piles = plan_shards(&partition, shards);
+        let mut members: Vec<Option<NodeController>> =
+            self.shard.into_members().map(|(_, n)| Some(n)).collect();
+        let shards = piles
+            .into_iter()
+            .map(|ids| {
+                let nodes = ids
+                    .iter()
+                    .map(|i| {
+                        members[usize::from(*i)]
+                            .take()
+                            .expect("plan_shards assigns each node exactly once")
+                    })
+                    .collect();
+                NodeShard::new(partition.clone(), ids, nodes)
+            })
+            .collect();
+        (self.front, shards)
+    }
+
+    /// Reassembles a board from a front end and the shards produced by
+    /// [`MemoriesBoard::split`] (in any order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoardError::ShardAssembly`] if the shards do not cover
+    /// the front end's partition exactly (a node missing, duplicated, or
+    /// foreign).
+    pub fn assemble(front: BoardFrontEnd, shards: Vec<NodeShard>) -> Result<Self, BoardError> {
+        let partition = front.filter.partition().clone();
+        let count = partition.node_count();
+        let mut slots: Vec<Option<NodeController>> = (0..count).map(|_| None).collect();
+        for shard in shards {
+            for (id, node) in shard.into_members() {
+                let slot =
+                    slots
+                        .get_mut(usize::from(id))
+                        .ok_or_else(|| BoardError::ShardAssembly {
+                            detail: format!(
+                                "shard carries node{id} outside the {count}-node board"
+                            ),
+                        })?;
+                if slot.replace(node).is_some() {
+                    return Err(BoardError::ShardAssembly {
+                        detail: format!("node{id} appears in two shards"),
+                    });
+                }
+            }
+        }
+        let nodes: Vec<NodeController> = slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.ok_or_else(|| BoardError::ShardAssembly {
+                    detail: format!("node{i} missing from the assembled shards"),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let indices = (0..nodes.len() as u8).collect();
+        Ok(MemoriesBoard {
+            front,
+            shard: NodeShard::new(partition, indices, nodes),
         })
     }
 
     /// The address filter (partition and filter statistics).
     pub fn filter(&self) -> &AddressFilter {
-        &self.filter
+        self.front.filter()
     }
 
     /// The global event counters.
     pub fn global(&self) -> &GlobalCounters {
-        &self.global
+        self.front.global()
     }
 
     /// Number of configured nodes.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.shard.len()
     }
 
     /// One node controller.
@@ -281,12 +446,12 @@ impl MemoriesBoard {
     ///
     /// Panics if `id` is not a configured node.
     pub fn node(&self, id: NodeId) -> &NodeController {
-        &self.nodes[id.index()]
+        self.shard.node_at(id.index())
     }
 
     /// Iterates over the node controllers.
     pub fn nodes(&self) -> impl Iterator<Item = &NodeController> {
-        self.nodes.iter()
+        self.shard.nodes().iter()
     }
 
     /// Derived statistics of one node.
@@ -295,13 +460,13 @@ impl MemoriesBoard {
     ///
     /// Panics if `id` is not a configured node.
     pub fn node_stats(&self, id: NodeId) -> NodeStats {
-        self.nodes[id.index()].stats()
+        self.shard.node_at(id.index()).stats()
     }
 
     /// Retries the board posted on the bus (should stay zero in healthy
     /// runs — §3.3).
     pub fn retries_posted(&self) -> u64 {
-        self.retries_posted
+        self.front.retries_posted
     }
 
     /// Renders a full statistics report — the console software's
@@ -313,13 +478,13 @@ impl MemoriesBoard {
         writeln!(
             out,
             "board: {} bus transactions observed over {} cycles, {} retries posted",
-            self.global.transactions(),
-            self.global.observed_span_cycles(),
-            self.retries_posted
+            self.front.global.transactions(),
+            self.front.global.observed_span_cycles(),
+            self.front.retries_posted
         )
         .expect("writing to String cannot fail");
-        writeln!(out, "{}", self.filter.stats()).expect("infallible");
-        for node in &self.nodes {
+        writeln!(out, "{}", self.front.filter.stats()).expect("infallible");
+        for node in self.shard.nodes() {
             let stats = node.stats();
             writeln!(
                 out,
@@ -339,59 +504,20 @@ impl MemoriesBoard {
     /// preserving emulated cache contents — the console's
     /// statistics-extraction reset.
     pub fn reset_statistics(&mut self) {
-        self.global.reset();
-        self.filter.reset_stats();
-        for n in &mut self.nodes {
+        self.front.global.reset();
+        self.front.filter.reset_stats();
+        for n in self.shard.nodes_mut() {
             n.reset_counters();
         }
-        self.retries_posted = 0;
+        self.front.retries_posted = 0;
     }
 
     fn observe(&mut self, txn: &Transaction) -> ListenerReaction {
-        self.global.observe(txn);
-        if !self.filter.admit(txn) {
+        if !self.front.observe(txn) {
             return ListenerReaction::Proceed;
         }
-
-        // Lock step, phase 1: classify and snapshot remote summaries from
-        // pre-transaction directory state.
-        let mut work: Vec<(usize, memories_protocol::AccessEvent, RemoteSummary)> =
-            Vec::with_capacity(self.nodes.len());
-        for (i, _) in self.nodes.iter().enumerate() {
-            let id = NodeId::new(i as u8);
-            let Some(event) = self.filter.event_for(id, txn) else {
-                continue;
-            };
-            let my_domain = self.filter.partition().domain(id);
-            let mut remote = RemoteSummary::None;
-            for (j, other) in self.nodes.iter().enumerate() {
-                if j == i {
-                    continue;
-                }
-                if self.filter.partition().domain(NodeId::new(j as u8)) != my_domain {
-                    continue;
-                }
-                remote = remote.max(other.summarize(txn.addr));
-            }
-            work.push((i, event, remote));
-        }
-
-        // Phase 2: apply transitions.
-        let mut overflow = false;
-        for (i, event, remote) in work {
-            let outcome =
-                self.nodes[i].process_with_resp(event, txn.addr, txn.cycle, remote, txn.resp);
-            if !outcome.accepted {
-                overflow = true;
-            }
-        }
-
-        if overflow && self.allow_retry {
-            self.retries_posted += 1;
-            ListenerReaction::Retry
-        } else {
-            ListenerReaction::Proceed
-        }
+        let overflow = self.shard.snoop(txn);
+        self.front.reaction(overflow)
     }
 }
 
@@ -404,9 +530,9 @@ impl BusListener for MemoriesBoard {
 impl fmt::Debug for MemoriesBoard {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("MemoriesBoard")
-            .field("nodes", &self.nodes)
-            .field("transactions", &self.global.transactions())
-            .field("retries_posted", &self.retries_posted)
+            .field("nodes", &self.shard.nodes())
+            .field("transactions", &self.front.global.transactions())
+            .field("retries_posted", &self.front.retries_posted)
             .finish()
     }
 }
@@ -637,6 +763,124 @@ mod tests {
         assert!(report.contains("mesi"));
         assert!(report.contains("read-misses"));
         assert!(report.contains("filter"));
+    }
+
+    fn mixed_stream(n: u64) -> Vec<Transaction> {
+        (0..n)
+            .map(|i| {
+                let op = match i % 4 {
+                    0 => BusOp::Read,
+                    1 => BusOp::Rwitm,
+                    2 => BusOp::DClaim,
+                    _ => BusOp::WriteBack,
+                };
+                txn(i, (i % 8) as u8, op, (i * 13 % 128) * 128)
+            })
+            .collect()
+    }
+
+    /// Drives the same stream serially and through split shards; both
+    /// boards must end bit-identical.
+    fn assert_split_matches_serial(cfg: BoardConfig, shards: usize) {
+        let stream = mixed_stream(2_000);
+        let mut serial = MemoriesBoard::new(cfg.clone()).unwrap();
+        for t in &stream {
+            serial.on_transaction(t);
+        }
+
+        let (mut front, mut shard_vec) = MemoriesBoard::new(cfg).unwrap().split(shards);
+        let mut overflows = 0u64;
+        for t in &stream {
+            if !front.observe(t) {
+                continue;
+            }
+            let mut any = false;
+            for s in &mut shard_vec {
+                any |= s.snoop(t);
+            }
+            if any {
+                overflows += 1;
+            }
+        }
+        front.record_overflows(overflows);
+        let parallel = MemoriesBoard::assemble(front, shard_vec).unwrap();
+
+        assert_eq!(serial.statistics_report(), parallel.statistics_report());
+        for i in 0..serial.node_count() {
+            let id = NodeId::new(i as u8);
+            assert_eq!(serial.node(id).counters(), parallel.node(id).counters());
+        }
+        assert_eq!(serial.retries_posted(), parallel.retries_posted());
+    }
+
+    #[test]
+    fn split_shards_match_serial_for_parallel_configs() {
+        let cfg = || {
+            BoardConfig::parallel_configs(
+                vec![params(4096), params(8192), params(16384)],
+                (0..8).map(ProcId::new).collect(),
+            )
+            .unwrap()
+        };
+        for shards in [1, 2, 3, 8] {
+            assert_split_matches_serial(cfg(), shards);
+        }
+    }
+
+    #[test]
+    fn split_keeps_coherent_domains_together() {
+        // A four-node single-domain machine cannot shard below one group.
+        let cfg = BoardConfig::multi_node(
+            params(4096),
+            (0..4)
+                .map(|n| ((n * 2)..(n * 2 + 2)).map(ProcId::new).collect())
+                .collect(),
+        )
+        .unwrap();
+        let (_, shards) = MemoriesBoard::new(cfg.clone()).unwrap().split(4);
+        assert_eq!(shards.len(), 1, "one domain must stay one shard");
+        assert_split_matches_serial(cfg, 4);
+    }
+
+    #[test]
+    fn assemble_rejects_missing_and_duplicated_nodes() {
+        let cfg = BoardConfig::parallel_configs(
+            vec![params(4096), params(8192)],
+            (0..8).map(ProcId::new).collect(),
+        )
+        .unwrap();
+        let (front, mut shards) = MemoriesBoard::new(cfg).unwrap().split(2);
+        let dropped = shards.pop().unwrap();
+        let err = MemoriesBoard::assemble(front.clone(), shards.clone()).unwrap_err();
+        assert!(matches!(err, BoardError::ShardAssembly { .. }));
+
+        shards.push(dropped.clone());
+        shards.push(dropped);
+        let err = MemoriesBoard::assemble(front, shards).unwrap_err();
+        assert!(matches!(err, BoardError::ShardAssembly { .. }));
+    }
+
+    #[test]
+    fn global_counters_merge_matches_serial_observation() {
+        let stream = mixed_stream(999);
+        let mut serial = GlobalCounters::default();
+        for t in &stream {
+            serial.observe(t);
+        }
+        // Round-robin the stream over three banks, then merge.
+        let mut banks = vec![GlobalCounters::default(); 3];
+        for (i, t) in stream.iter().enumerate() {
+            banks[i % 3].observe(t);
+        }
+        let mut merged = GlobalCounters::default();
+        for b in &banks {
+            merged.merge(b);
+        }
+        assert_eq!(merged.transactions(), serial.transactions());
+        for op in BusOp::ALL {
+            assert_eq!(merged.count(op), serial.count(op));
+        }
+        assert_eq!(merged.observed_span_cycles(), serial.observed_span_cycles());
     }
 
     #[test]

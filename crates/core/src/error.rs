@@ -1,6 +1,6 @@
 //! Board configuration errors.
 
-use std::error::Error;
+use std::error::Error as StdError;
 use std::fmt;
 
 use memories_bus::{NodeId, ProcId};
@@ -41,6 +41,12 @@ pub enum BoardError {
     },
     /// Invalid cache parameters for a node slot.
     Params(ParamError),
+    /// [`MemoriesBoard::assemble`](crate::MemoriesBoard::assemble) was
+    /// given shards that do not cover the front end's partition exactly.
+    ShardAssembly {
+        /// Which node was missing, duplicated, or foreign.
+        detail: String,
+    },
 }
 
 impl fmt::Display for BoardError {
@@ -65,12 +71,15 @@ impl fmt::Display for BoardError {
                 CacheParams::MAX_PROCS_PER_NODE
             ),
             BoardError::Params(e) => write!(f, "invalid cache parameters: {e}"),
+            BoardError::ShardAssembly { detail } => {
+                write!(f, "cannot assemble board from shards: {detail}")
+            }
         }
     }
 }
 
-impl Error for BoardError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
+impl StdError for BoardError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
         match self {
             BoardError::Params(e) => Some(e),
             _ => None,
@@ -81,6 +90,121 @@ impl Error for BoardError {
 impl From<ParamError> for BoardError {
     fn from(e: ParamError) -> Self {
         BoardError::Params(e)
+    }
+}
+
+/// The workspace-wide error type.
+///
+/// Every fallible public operation in the emulation stack — board
+/// construction, protocol map parsing, trace decoding, host machine
+/// configuration, session building — converts into this one enum, so
+/// applications can write `Result<T, memories::Error>` end to end
+/// instead of juggling per-crate error zoos.
+///
+/// The enum is `#[non_exhaustive]`: downstream matches must carry a
+/// wildcard arm, which lets the workspace add variants without breaking
+/// callers.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Invalid board configuration ([`BoardError`]).
+    Board(BoardError),
+    /// Invalid cache parameters ([`ParamError`]).
+    Params(ParamError),
+    /// A protocol map file failed to parse.
+    Protocol(memories_protocol::ProtocolParseError),
+    /// Invalid cache geometry on the host side.
+    Geometry(memories_bus::GeometryError),
+    /// A bus trace failed to decode.
+    Trace(memories_trace::TraceError),
+    /// A referenced node slot does not exist.
+    NoSuchNode {
+        /// The requested node.
+        node: NodeId,
+    },
+    /// The host machine configuration was rejected. Boxed because the
+    /// host crate sits above this one in the dependency graph; use
+    /// [`Error::host`] to construct it.
+    Host(Box<dyn StdError + Send + Sync>),
+    /// Any other failure from an emulation component. Use
+    /// [`Error::other`] to construct it.
+    Other(Box<dyn StdError + Send + Sync>),
+}
+
+impl Error {
+    /// Wraps a host machine configuration error.
+    pub fn host<E: StdError + Send + Sync + 'static>(e: E) -> Self {
+        Error::Host(Box::new(e))
+    }
+
+    /// Wraps any other component error.
+    pub fn other<E: StdError + Send + Sync + 'static>(e: E) -> Self {
+        Error::Other(Box::new(e))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Board(e) => write!(f, "board configuration rejected: {e}"),
+            Error::Params(e) => write!(f, "invalid cache parameters: {e}"),
+            Error::Protocol(e) => write!(f, "protocol map file rejected: {e}"),
+            Error::Geometry(e) => write!(f, "invalid cache geometry: {e}"),
+            Error::Trace(e) => write!(f, "trace decoding failed: {e}"),
+            Error::NoSuchNode { node } => write!(f, "{node} is not configured"),
+            Error::Host(e) => write!(f, "host configuration rejected: {e}"),
+            Error::Other(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::Board(e) => Some(e),
+            Error::Params(e) => Some(e),
+            Error::Protocol(e) => Some(e),
+            Error::Geometry(e) => Some(e),
+            Error::Trace(e) => Some(e),
+            Error::NoSuchNode { .. } => None,
+            Error::Host(e) | Error::Other(e) => Some(e.as_ref()),
+        }
+    }
+}
+
+impl From<BoardError> for Error {
+    fn from(e: BoardError) -> Self {
+        Error::Board(e)
+    }
+}
+
+impl From<ParamError> for Error {
+    fn from(e: ParamError) -> Self {
+        Error::Params(e)
+    }
+}
+
+impl From<memories_protocol::ProtocolParseError> for Error {
+    fn from(e: memories_protocol::ProtocolParseError) -> Self {
+        Error::Protocol(e)
+    }
+}
+
+impl From<memories_bus::GeometryError> for Error {
+    fn from(e: memories_bus::GeometryError) -> Self {
+        Error::Geometry(e)
+    }
+}
+
+impl From<memories_trace::TraceError> for Error {
+    fn from(e: memories_trace::TraceError) -> Self {
+        Error::Trace(e)
+    }
+}
+
+impl From<std::convert::Infallible> for Error {
+    fn from(e: std::convert::Infallible) -> Self {
+        match e {}
     }
 }
 

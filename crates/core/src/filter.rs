@@ -158,6 +158,39 @@ impl NodePartition {
             .filter(move |(_, (_, m))| m & bit != 0)
             .map(|(i, _)| NodeId::new(i as u8))
     }
+
+    /// The protocol event `txn` produces at `node`, if any.
+    ///
+    /// Local traffic maps to `Local*` events, same-domain remote traffic
+    /// to `Remote*` events, DMA to `Io*` events at every node; a remote
+    /// node's castouts and unrelated domains produce nothing.
+    ///
+    /// Classification depends only on the partition (not on filter state),
+    /// so shards holding a clone of the partition classify identically to
+    /// the serial board.
+    pub fn event_for(&self, node: NodeId, txn: &Transaction) -> Option<AccessEvent> {
+        match txn.op {
+            BusOp::DmaRead => return Some(AccessEvent::IoRead),
+            BusOp::DmaWrite => return Some(AccessEvent::IoWrite),
+            _ => {}
+        }
+        match (self.locality(node, txn.proc), txn.op) {
+            (Locality::Local, BusOp::Read) => Some(AccessEvent::LocalRead),
+            (Locality::Local, BusOp::Rwitm) => Some(AccessEvent::LocalWrite),
+            (Locality::Local, BusOp::DClaim) => Some(AccessEvent::LocalUpgrade),
+            (Locality::Local, BusOp::WriteBack) => Some(AccessEvent::LocalCastout),
+            (Locality::Local, BusOp::Flush) | (Locality::Remote, BusOp::Flush) => {
+                Some(AccessEvent::Flush)
+            }
+            (Locality::Remote, BusOp::Read) => Some(AccessEvent::RemoteRead),
+            (Locality::Remote, BusOp::Rwitm) | (Locality::Remote, BusOp::DClaim) => {
+                Some(AccessEvent::RemoteWrite)
+            }
+            (Locality::Remote, BusOp::WriteBack) => None,
+            (Locality::Unrelated, _) => None,
+            _ => None,
+        }
+    }
 }
 
 /// Address filter configuration.
@@ -262,31 +295,9 @@ impl AddressFilter {
 
     /// The protocol event `txn` produces at `node`, if any.
     ///
-    /// Local traffic maps to `Local*` events, same-domain remote traffic
-    /// to `Remote*` events, DMA to `Io*` events at every node; a remote
-    /// node's castouts and unrelated domains produce nothing.
+    /// Delegates to [`NodePartition::event_for`].
     pub fn event_for(&self, node: NodeId, txn: &Transaction) -> Option<AccessEvent> {
-        match txn.op {
-            BusOp::DmaRead => return Some(AccessEvent::IoRead),
-            BusOp::DmaWrite => return Some(AccessEvent::IoWrite),
-            _ => {}
-        }
-        match (self.partition.locality(node, txn.proc), txn.op) {
-            (Locality::Local, BusOp::Read) => Some(AccessEvent::LocalRead),
-            (Locality::Local, BusOp::Rwitm) => Some(AccessEvent::LocalWrite),
-            (Locality::Local, BusOp::DClaim) => Some(AccessEvent::LocalUpgrade),
-            (Locality::Local, BusOp::WriteBack) => Some(AccessEvent::LocalCastout),
-            (Locality::Local, BusOp::Flush) | (Locality::Remote, BusOp::Flush) => {
-                Some(AccessEvent::Flush)
-            }
-            (Locality::Remote, BusOp::Read) => Some(AccessEvent::RemoteRead),
-            (Locality::Remote, BusOp::Rwitm) | (Locality::Remote, BusOp::DClaim) => {
-                Some(AccessEvent::RemoteWrite)
-            }
-            (Locality::Remote, BusOp::WriteBack) => None,
-            (Locality::Unrelated, _) => None,
-            _ => None,
-        }
+        self.partition.event_for(node, txn)
     }
 }
 
@@ -384,8 +395,7 @@ mod tests {
             NodePartition::new([(0u8, nine)]),
             Err(BoardError::TooManyCpusPerNode { cpus: 9, .. })
         ));
-        let five: Vec<(u8, Vec<ProcId>)> =
-            (0..5).map(|i| (i as u8, vec![ProcId::new(i)])).collect();
+        let five: Vec<(u8, Vec<ProcId>)> = (0..5).map(|i| (i, vec![ProcId::new(i)])).collect();
         assert!(matches!(
             NodePartition::new(five),
             Err(BoardError::TooManyNodes { .. })

@@ -85,6 +85,7 @@ mod hotspot;
 mod node;
 mod params;
 mod replacement;
+mod shard;
 mod stats;
 mod tagstore;
 mod timing;
@@ -92,15 +93,16 @@ mod timing;
 pub mod numa;
 pub mod tracecap;
 
-pub use board::{BoardConfig, GlobalCounters, MemoriesBoard, NodeSlot};
+pub use board::{BoardConfig, BoardFrontEnd, GlobalCounters, MemoriesBoard, NodeSlot};
 pub use counters::{Counter40, NodeCounter, NodeCounters};
-pub use error::BoardError;
+pub use error::{BoardError, Error};
 pub use filter::{AddressFilter, FilterConfig, NodePartition};
 pub use hotspot::{Granularity, HotSpotProfiler, HotSpotReport};
 pub use node::{NodeController, NodeOutcome};
 pub use numa::NumaEmulator;
 pub use params::{CacheParams, CacheParamsBuilder, ParamError};
 pub use replacement::ReplacementPolicy;
+pub use shard::NodeShard;
 pub use stats::{FillBreakdown, NodeStats};
 pub use tagstore::{EvictedLine, TagStore};
 pub use timing::{SdramModel, TimingConfig, TransactionBuffer};

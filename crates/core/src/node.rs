@@ -83,6 +83,7 @@ impl ColdTracker {
 /// # Ok(())
 /// # }
 /// ```
+#[derive(Clone)]
 pub struct NodeController {
     id: NodeId,
     params: CacheParams,

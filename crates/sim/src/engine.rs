@@ -1,0 +1,433 @@
+//! The sharded emulation engine: one transaction stream, N node shards.
+//!
+//! The physical board keeps up with the bus because its four node
+//! controllers are parallel hardware; this engine recovers that
+//! parallelism in software. A producer thread observes and filters every
+//! transaction exactly once through the board's [`BoardFrontEnd`], packs
+//! the admitted ones into fixed-size batches, and broadcasts each batch
+//! to worker threads that each own one [`NodeShard`] (a whole-domain
+//! group of node controllers — see `memories::NodeShard` for why that
+//! makes per-shard snooping exact). Workers record which transactions of
+//! each batch overflowed a node buffer as a bitmask; at [`finish`] the
+//! masks are OR-merged across shards and popcounted, giving exactly the
+//! retry count the serial board would have posted, and the shards are
+//! reassembled into a [`MemoriesBoard`] whose every counter and directory
+//! entry is **bit-identical** to a serial run of the same stream.
+//!
+//! The engine consumes an already-recorded transaction stream (replay,
+//! synthetic generators, capture files). It cannot feed retries back into
+//! a live host bus — batching makes the reaction available only after the
+//! fact — which matches the board's healthy operating point of zero
+//! retries (§3.3); the count is still exact.
+//!
+//! [`finish`]: EmulationEngine::finish
+
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use memories::{BoardFrontEnd, Error, MemoriesBoard, NodeShard};
+use memories_bus::Transaction;
+
+/// How the engine drives the node controllers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Snoop in the calling thread, exactly like
+    /// [`MemoriesBoard::on_transaction`](memories_bus::BusListener).
+    Serial,
+    /// Fan admitted transactions out to up to `shards` worker threads.
+    /// The effective count is capped at the board's coherence-domain
+    /// count (a domain cannot be split).
+    Parallel {
+        /// Requested worker count.
+        shards: usize,
+    },
+}
+
+/// Engine tuning knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Serial or parallel operation.
+    pub mode: EngineMode,
+    /// Admitted transactions per broadcast batch (parallel mode).
+    pub batch: usize,
+}
+
+impl EngineConfig {
+    /// Transactions per batch unless overridden: large enough to amortize
+    /// channel traffic, small enough to keep shards in cache.
+    pub const DEFAULT_BATCH: usize = 4096;
+
+    /// A serial configuration.
+    pub fn serial() -> Self {
+        EngineConfig {
+            mode: EngineMode::Serial,
+            batch: Self::DEFAULT_BATCH,
+        }
+    }
+
+    /// A parallel configuration with `shards` workers.
+    pub fn parallel(shards: usize) -> Self {
+        EngineConfig {
+            mode: EngineMode::Parallel { shards },
+            batch: Self::DEFAULT_BATCH,
+        }
+    }
+
+    /// Overrides the batch size (clamped to at least 1).
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+}
+
+/// Per-batch overflow bitmask: bit `i` set means batch transaction `i`
+/// overflowed some node buffer in the reporting shard.
+type OverflowMask = Vec<u64>;
+
+fn mask_for(len: usize) -> OverflowMask {
+    vec![0u64; len.div_ceil(64)]
+}
+
+struct Worker {
+    sender: SyncSender<Arc<Vec<Transaction>>>,
+    handle: JoinHandle<(NodeShard, Vec<OverflowMask>)>,
+}
+
+enum Inner {
+    Serial {
+        board: MemoriesBoard,
+    },
+    Parallel {
+        front: BoardFrontEnd,
+        batch: Vec<Transaction>,
+        batch_capacity: usize,
+        workers: Vec<Worker>,
+    },
+}
+
+/// A running emulation over one transaction stream.
+///
+/// Feed transactions in stream order with [`EmulationEngine::feed`], then
+/// call [`EmulationEngine::finish`] to get the final board back. The
+/// result is bit-identical across modes and shard counts.
+///
+/// # Examples
+///
+/// ```
+/// use memories::{BoardConfig, CacheParams, MemoriesBoard};
+/// use memories_bus::{Address, BusOp, ProcId, SnoopResponse, Transaction};
+/// use memories_sim::{EmulationEngine, EngineConfig};
+///
+/// # fn main() -> Result<(), memories::Error> {
+/// let params = CacheParams::builder()
+///     .capacity(4096).ways(2).line_size(128).allow_scaled_down().build()?;
+/// let config = BoardConfig::parallel_configs(
+///     vec![params, params], (0..8).map(ProcId::new).collect())?;
+/// let mut engine = EmulationEngine::new(
+///     MemoriesBoard::new(config)?, EngineConfig::parallel(2));
+/// for i in 0..1000u64 {
+///     engine.feed(&Transaction::new(
+///         i, i * 60, ProcId::new((i % 8) as u8), BusOp::Read,
+///         Address::new((i % 64) * 128), SnoopResponse::Null));
+/// }
+/// let board = engine.finish()?;
+/// assert_eq!(board.global().transactions(), 1000);
+/// # Ok(())
+/// # }
+/// ```
+pub struct EmulationEngine {
+    inner: Inner,
+}
+
+impl EmulationEngine {
+    /// Starts an engine over `board`.
+    ///
+    /// In parallel mode the board is split into whole-domain shards and
+    /// one worker thread is spawned per shard immediately.
+    pub fn new(board: MemoriesBoard, config: EngineConfig) -> Self {
+        let inner = match config.mode {
+            EngineMode::Serial => Inner::Serial { board },
+            EngineMode::Parallel { shards } => {
+                let (front, shard_vec) = board.split(shards);
+                let workers = shard_vec.into_iter().map(spawn_worker).collect();
+                Inner::Parallel {
+                    front,
+                    batch: Vec::with_capacity(config.batch),
+                    batch_capacity: config.batch.max(1),
+                    workers,
+                }
+            }
+        };
+        EmulationEngine { inner }
+    }
+
+    /// Number of independent snoop units (1 in serial mode).
+    pub fn shard_count(&self) -> usize {
+        match &self.inner {
+            Inner::Serial { .. } => 1,
+            Inner::Parallel { workers, .. } => workers.len(),
+        }
+    }
+
+    /// Feeds one bus transaction, in stream order.
+    pub fn feed(&mut self, txn: &Transaction) {
+        match &mut self.inner {
+            Inner::Serial { board } => {
+                use memories_bus::BusListener as _;
+                board.on_transaction(txn);
+            }
+            Inner::Parallel {
+                front,
+                batch,
+                batch_capacity,
+                workers,
+            } => {
+                if !front.observe(txn) {
+                    return;
+                }
+                batch.push(*txn);
+                if batch.len() >= *batch_capacity {
+                    let full = Arc::new(std::mem::replace(
+                        batch,
+                        Vec::with_capacity(*batch_capacity),
+                    ));
+                    broadcast(workers, full);
+                }
+            }
+        }
+    }
+
+    /// Feeds a whole stream.
+    pub fn feed_all<'a, I: IntoIterator<Item = &'a Transaction>>(&mut self, stream: I) {
+        for txn in stream {
+            self.feed(txn);
+        }
+    }
+
+    /// Flushes outstanding batches, joins the workers, merges their
+    /// overflow masks, and reassembles the board.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Board`] if shard reassembly fails (cannot happen
+    /// for shards produced by this engine).
+    ///
+    /// # Panics
+    ///
+    /// Propagates a worker thread's panic.
+    pub fn finish(self) -> Result<MemoriesBoard, Error> {
+        match self.inner {
+            Inner::Serial { board } => Ok(board),
+            Inner::Parallel {
+                mut front,
+                batch,
+                workers,
+                ..
+            } => {
+                let mut senders = Vec::with_capacity(workers.len());
+                let mut handles = Vec::with_capacity(workers.len());
+                for w in workers {
+                    senders.push(w.sender);
+                    handles.push(w.handle);
+                }
+                if !batch.is_empty() {
+                    let last = Arc::new(batch);
+                    for sender in &senders {
+                        sender
+                            .send(Arc::clone(&last))
+                            .expect("worker hung up before finish");
+                    }
+                }
+                drop(senders); // Closes the channels; workers drain and exit.
+
+                let mut shards = Vec::with_capacity(handles.len());
+                let mut merged: Vec<OverflowMask> = Vec::new();
+                for handle in handles {
+                    let (shard, masks) = handle
+                        .join()
+                        .unwrap_or_else(|p| std::panic::resume_unwind(p));
+                    shards.push(shard);
+                    if merged.is_empty() {
+                        merged = masks;
+                    } else {
+                        debug_assert_eq!(merged.len(), masks.len());
+                        for (acc, m) in merged.iter_mut().zip(&masks) {
+                            for (a, b) in acc.iter_mut().zip(m) {
+                                *a |= *b;
+                            }
+                        }
+                    }
+                }
+                // One retry per admitted transaction that overflowed in
+                // any shard — exactly the serial board's accounting.
+                let overflows: u64 = merged
+                    .iter()
+                    .flat_map(|m| m.iter())
+                    .map(|w| u64::from(w.count_ones()))
+                    .sum();
+                front.record_overflows(overflows);
+                Ok(MemoriesBoard::assemble(front, shards)?)
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for EmulationEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Inner::Serial { .. } => f.debug_struct("EmulationEngine(serial)").finish(),
+            Inner::Parallel { workers, batch, .. } => f
+                .debug_struct("EmulationEngine(parallel)")
+                .field("shards", &workers.len())
+                .field("pending", &batch.len())
+                .finish(),
+        }
+    }
+}
+
+fn broadcast(workers: &[Worker], batch: Arc<Vec<Transaction>>) {
+    for w in workers {
+        w.sender
+            .send(Arc::clone(&batch))
+            .expect("worker hung up mid-run");
+    }
+}
+
+fn spawn_worker(mut shard: NodeShard) -> Worker {
+    // A couple of batches of backpressure keeps the producer and workers
+    // overlapped without unbounded queueing.
+    let (sender, receiver) = sync_channel::<Arc<Vec<Transaction>>>(4);
+    let handle = std::thread::spawn(move || {
+        let mut masks: Vec<OverflowMask> = Vec::new();
+        while let Ok(batch) = receiver.recv() {
+            let mut mask = mask_for(batch.len());
+            for (i, txn) in batch.iter().enumerate() {
+                if shard.snoop(txn) {
+                    mask[i / 64] |= 1u64 << (i % 64);
+                }
+            }
+            masks.push(mask);
+        }
+        (shard, masks)
+    });
+    Worker { sender, handle }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memories::{BoardConfig, CacheParams, TimingConfig};
+    use memories_bus::{Address, BusOp, NodeId, ProcId, SnoopResponse};
+
+    fn params(capacity: u64) -> CacheParams {
+        CacheParams::builder()
+            .capacity(capacity)
+            .ways(2)
+            .line_size(128)
+            .allow_scaled_down()
+            .build()
+            .unwrap()
+    }
+
+    fn stream(n: u64, spacing: u64) -> Vec<Transaction> {
+        (0..n)
+            .map(|i| {
+                let op = match i % 5 {
+                    0 | 3 => BusOp::Read,
+                    1 => BusOp::Rwitm,
+                    2 => BusOp::DClaim,
+                    _ => BusOp::WriteBack,
+                };
+                Transaction::new(
+                    i,
+                    i * spacing,
+                    ProcId::new((i % 8) as u8),
+                    op,
+                    Address::new((i * 17 % 256) * 128),
+                    SnoopResponse::Null,
+                )
+            })
+            .collect()
+    }
+
+    fn four_domain_config() -> BoardConfig {
+        BoardConfig::parallel_configs(
+            vec![params(4096), params(8192), params(16384), params(32768)],
+            (0..8).map(ProcId::new).collect(),
+        )
+        .unwrap()
+    }
+
+    fn run(cfg: &BoardConfig, engine_cfg: EngineConfig, txns: &[Transaction]) -> MemoriesBoard {
+        let mut engine = EmulationEngine::new(MemoriesBoard::new(cfg.clone()).unwrap(), engine_cfg);
+        engine.feed_all(txns);
+        engine.finish().unwrap()
+    }
+
+    fn assert_boards_identical(a: &MemoriesBoard, b: &MemoriesBoard) {
+        assert_eq!(a.statistics_report(), b.statistics_report());
+        for i in 0..a.node_count() {
+            let id = NodeId::new(i as u8);
+            assert_eq!(a.node(id).counters(), b.node(id).counters());
+        }
+        assert_eq!(a.retries_posted(), b.retries_posted());
+        assert_eq!(a.filter().stats(), b.filter().stats());
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        let cfg = four_domain_config();
+        let txns = stream(20_000, 60);
+        let serial = run(&cfg, EngineConfig::serial(), &txns);
+        for shards in [1, 2, 3, 4, 8] {
+            let parallel = run(&cfg, EngineConfig::parallel(shards), &txns);
+            assert_boards_identical(&serial, &parallel);
+        }
+    }
+
+    #[test]
+    fn small_batches_and_partial_tail_are_exact() {
+        let cfg = four_domain_config();
+        let txns = stream(1_237, 60); // deliberately not a batch multiple
+        let serial = run(&cfg, EngineConfig::serial(), &txns);
+        for batch in [1, 7, 64, 100_000] {
+            let parallel = run(&cfg, EngineConfig::parallel(4).with_batch(batch), &txns);
+            assert_boards_identical(&serial, &parallel);
+        }
+    }
+
+    #[test]
+    fn overflow_retries_merge_exactly() {
+        // Back-to-back transactions into a tiny buffer force overflows.
+        let mut cfg = four_domain_config();
+        cfg.timing = TimingConfig {
+            buffer_capacity: 4,
+            ..TimingConfig::default()
+        };
+        let txns = stream(5_000, 0);
+        let serial = run(&cfg, EngineConfig::serial(), &txns);
+        assert!(serial.retries_posted() > 0, "test needs overflow pressure");
+        let parallel = run(&cfg, EngineConfig::parallel(4), &txns);
+        assert_boards_identical(&serial, &parallel);
+    }
+
+    #[test]
+    fn shard_count_respects_domains() {
+        let engine = EmulationEngine::new(
+            MemoriesBoard::new(four_domain_config()).unwrap(),
+            EngineConfig::parallel(2),
+        );
+        assert_eq!(engine.shard_count(), 2);
+        // One-domain boards cannot shard.
+        let single = BoardConfig::single_node(params(4096), (0..8).map(ProcId::new)).unwrap();
+        let engine = EmulationEngine::new(
+            MemoriesBoard::new(single).unwrap(),
+            EngineConfig::parallel(8),
+        );
+        assert_eq!(engine.shard_count(), 1);
+        // Workers must still shut down cleanly with no traffic.
+        engine.finish().unwrap();
+    }
+}

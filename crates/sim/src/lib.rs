@@ -18,6 +18,11 @@
 //! time, so its cost is the host's run time), and [`CSimTimeModel`]
 //! extrapolates measured simulator throughput to the paper's huge trace
 //! sizes.
+//!
+//! [`EmulationEngine`] is the sharded replay engine: it fans one
+//! transaction stream out to worker threads that each snoop a
+//! whole-domain group of node controllers, producing a board
+//! bit-identical to a serial run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,11 +30,13 @@
 mod augmint;
 mod compare;
 mod csim;
+mod engine;
 mod multinode;
 mod timing;
 
 pub use augmint::AugmintModel;
 pub use compare::{compare_counts, CompareReport};
 pub use csim::{CacheSim, SimCounts};
+pub use engine::{EmulationEngine, EngineConfig, EngineMode};
 pub use multinode::MultiNodeSim;
 pub use timing::{CSimTimeModel, HostTimeModel};

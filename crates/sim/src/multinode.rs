@@ -164,9 +164,11 @@ impl MultiNodeSim {
                     }
                 }
             }
-            AccessEvent::LocalUpgrade => {
-                node.counts.incr(if hit { C::UpgradeHits } else { C::UpgradeMisses })
-            }
+            AccessEvent::LocalUpgrade => node.counts.incr(if hit {
+                C::UpgradeHits
+            } else {
+                C::UpgradeMisses
+            }),
             AccessEvent::LocalCastout => {
                 node.counts.incr(C::CastoutsSeen);
                 if !hit {
@@ -260,14 +262,29 @@ mod tests {
     }
 
     fn rec(proc: u8, op: BusOp, addr: u64) -> TraceRecord {
-        TraceRecord::new(op, ProcId::new(proc), SnoopResponse::Null, Address::new(addr))
+        TraceRecord::new(
+            op,
+            ProcId::new(proc),
+            SnoopResponse::Null,
+            Address::new(addr),
+        )
     }
 
     #[test]
     fn two_node_remote_invalidation() {
         let mut sim = MultiNodeSim::new(vec![
-            (params(), standard::mesi(), 0, (0..4).map(ProcId::new).collect()),
-            (params(), standard::mesi(), 0, (4..8).map(ProcId::new).collect()),
+            (
+                params(),
+                standard::mesi(),
+                0,
+                (0..4).map(ProcId::new).collect(),
+            ),
+            (
+                params(),
+                standard::mesi(),
+                0,
+                (4..8).map(ProcId::new).collect(),
+            ),
         ]);
         sim.step(&rec(0, BusOp::Rwitm, 0x1000)); // node0 local write
         sim.step(&rec(4, BusOp::Rwitm, 0x1000)); // node1 write invalidates node0
@@ -280,8 +297,18 @@ mod tests {
     #[test]
     fn domains_are_isolated() {
         let mut sim = MultiNodeSim::new(vec![
-            (params(), standard::mesi(), 0, (0..8).map(ProcId::new).collect()),
-            (params(), standard::mesi(), 1, (0..8).map(ProcId::new).collect()),
+            (
+                params(),
+                standard::mesi(),
+                0,
+                (0..8).map(ProcId::new).collect(),
+            ),
+            (
+                params(),
+                standard::mesi(),
+                1,
+                (0..8).map(ProcId::new).collect(),
+            ),
         ]);
         sim.step(&rec(0, BusOp::Read, 0x2000));
         // Both nodes see the read as local; neither sees it as remote.

@@ -11,7 +11,7 @@
 use memories::{BoardConfig, CacheParams, ReplacementPolicy};
 use memories_bus::ProcId;
 use memories_console::report::{bytes, Table};
-use memories_console::Experiment;
+use memories_console::EmulationSession;
 use memories_host::HostConfig;
 use memories_workloads::{OltpConfig, OltpWorkload};
 
@@ -45,7 +45,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let configs: Result<Vec<_>, _> = sizes.iter().map(|&s| candidate(s, ways)).collect();
         let board = BoardConfig::parallel_configs(configs?, (0..8).map(ProcId::new).collect())?;
         let mut workload = OltpWorkload::new(OltpConfig::scaled_default());
-        let result = Experiment::new(host.clone(), board)?.run(&mut workload, REFS);
+        // The four sizes are independent coherence domains — snoop them
+        // on four shards.
+        let result = EmulationSession::builder()
+            .host(host.clone())
+            .board(board)
+            .parallelism(sizes.len())
+            .build()?
+            .run(&mut workload, REFS)?;
         for (si, stats) in result.node_stats.iter().enumerate() {
             results[wi][si] = stats.miss_ratio();
         }

@@ -78,10 +78,10 @@ fn run_with_directory(dir_sets: usize, refs: u64) -> NumaEmulator {
         }
     }
     drop(machine.detach_listeners());
-    Rc::try_unwrap(shared)
-        .ok()
-        .expect("last handle")
-        .into_inner()
+    let Ok(cell) = Rc::try_unwrap(shared) else {
+        panic!("last handle");
+    };
+    cell.into_inner()
 }
 
 fn main() {

@@ -17,7 +17,7 @@
 use memories::{BoardConfig, CacheParams, NodeCounter, NodeSlot, NodeStats};
 use memories_bus::ProcId;
 use memories_console::report::Table;
-use memories_console::Experiment;
+use memories_console::EmulationSession;
 use memories_host::HostConfig;
 use memories_protocol::{standard, ProtocolTable};
 use memories_workloads::splash::Fmm;
@@ -86,7 +86,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let board = BoardConfig::from_slots(slots)?;
     let mut fmm = Fmm::scaled(8, 1 << 16, 7);
-    let result = Experiment::new(host()?, board)?.run(&mut fmm, 500_000);
+    // The MESI pair and the MOESI pair are separate coherence domains,
+    // so the comparison can snoop on two shards.
+    let result = EmulationSession::builder()
+        .host(host()?)
+        .board(board)
+        .parallelism(2)
+        .build()?
+        .run(&mut fmm, 500_000)?;
     let s = &result.node_stats;
 
     let mut t = Table::new([
@@ -130,7 +137,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let board = BoardConfig::from_slots(slots)?;
     let mut oltp = OltpWorkload::new(OltpConfig::scaled_default());
-    let result = Experiment::new(host()?, board)?.run(&mut oltp, 400_000);
+    let result = EmulationSession::builder()
+        .host(host()?)
+        .board(board)
+        .parallelism(2)
+        .build()?
+        .run(&mut oltp, 400_000)?;
 
     let mut t = Table::new(["protocol", "miss ratio", "protocol writebacks"])
         .with_title("Part 2: write-through vs custom no-write-allocate, OLTP traffic");

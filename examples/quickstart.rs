@@ -7,9 +7,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use memories::{BoardConfig, CacheParams};
-use memories_bus::ProcId;
-use memories_console::Experiment;
+use memories::CacheParams;
+use memories_console::EmulationSession;
 use memories_host::HostConfig;
 use memories_workloads::{OltpConfig, OltpWorkload};
 
@@ -21,7 +20,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .ways(8)
         .line_size(128)
         .build()?;
-    let board = BoardConfig::single_node(params, (0..8).map(ProcId::new))?;
 
     // 2. The host: an S7A-like 8-way SMP (scaled L2s so the bus sees
     //    interesting traffic at this workload size).
@@ -31,10 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..HostConfig::s7a()
     };
 
-    // 3+4. Attach the board and run a TPC-C-like workload.
+    // 3+4. One session programs the board, attaches it to the host's
+    //    bus, and runs a TPC-C-like workload.
     let mut workload = OltpWorkload::new(OltpConfig::scaled_default());
-    let experiment = Experiment::new(host, board)?;
-    let result = experiment.run(&mut workload, 500_000);
+    let session = EmulationSession::builder()
+        .host(host)
+        .node(params)
+        .build()?;
+    let result = session.run(&mut workload, 500_000)?;
 
     // 5. Read the counters, like the console software would.
     let stats = &result.node_stats[0];

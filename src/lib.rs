@@ -24,3 +24,8 @@ pub use memories_protocol;
 pub use memories_sim;
 pub use memories_trace;
 pub use memories_workloads;
+/// The workspace's pseudo-random generator, re-exported for examples and
+/// downstream experiments. Gated behind the default `rand` feature so
+/// `--no-default-features` builds the root crate without it.
+#[cfg(feature = "rand")]
+pub use rand;

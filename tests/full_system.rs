@@ -2,8 +2,8 @@
 //! -> bus -> board.
 
 use memories::{BoardConfig, CacheParams, NodeCounter};
-use memories_bus::{NodeId, ProcId};
-use memories_console::Experiment;
+use memories_bus::ProcId;
+use memories_console::EmulationSession;
 use memories_host::HostConfig;
 use memories_workloads::micro::{Sequential, UniformRandom, ZipfWorkload};
 use memories_workloads::{OltpConfig, OltpWorkload};
@@ -32,7 +32,13 @@ fn cache(capacity: u64) -> CacheParams {
 fn board_sees_exactly_the_l2_miss_traffic() {
     let board = BoardConfig::single_node(cache(4 << 20), (0..8).map(ProcId::new)).unwrap();
     let mut w = OltpWorkload::new(OltpConfig::scaled_default());
-    let result = Experiment::new(host(), board).unwrap().run(&mut w, 150_000);
+    let result = EmulationSession::builder()
+        .host(host())
+        .board(board)
+        .build()
+        .unwrap()
+        .run(&mut w, 150_000)
+        .unwrap();
 
     let machine = result.machine.total();
     let node = &result.node_stats[0];
@@ -59,7 +65,13 @@ fn board_sees_exactly_the_l2_miss_traffic() {
 fn no_retries_under_realistic_load() {
     let board = BoardConfig::single_node(cache(8 << 20), (0..8).map(ProcId::new)).unwrap();
     let mut w = OltpWorkload::new(OltpConfig::scaled_default());
-    let result = Experiment::new(host(), board).unwrap().run(&mut w, 200_000);
+    let result = EmulationSession::builder()
+        .host(host())
+        .board(board)
+        .build()
+        .unwrap()
+        .run(&mut w, 200_000)
+        .unwrap();
     assert_eq!(result.retries_posted, 0);
     assert_eq!(result.node_stats[0].events_dropped(), 0);
     assert_eq!(result.bus.retries, 0);
@@ -72,7 +84,13 @@ fn whole_stack_is_deterministic() {
     let run = || {
         let board = BoardConfig::single_node(cache(2 << 20), (0..8).map(ProcId::new)).unwrap();
         let mut w = OltpWorkload::new(OltpConfig::scaled_default());
-        let result = Experiment::new(host(), board).unwrap().run(&mut w, 60_000);
+        let result = EmulationSession::builder()
+            .host(host())
+            .board(board)
+            .build()
+            .unwrap()
+            .run(&mut w, 60_000)
+            .unwrap();
         (
             result.node_stats[0].counters().clone(),
             result.machine.total().clone(),
@@ -97,7 +115,13 @@ fn bigger_emulated_cache_is_never_worse() {
     )
     .unwrap();
     let mut w = ZipfWorkload::new(8, 1 << 18, 128, 0.85, 0.2, 99);
-    let result = Experiment::new(host(), board).unwrap().run(&mut w, 250_000);
+    let result = EmulationSession::builder()
+        .host(host())
+        .board(board)
+        .build()
+        .unwrap()
+        .run(&mut w, 250_000)
+        .unwrap();
     let ratios: Vec<f64> = result.node_stats.iter().map(|s| s.miss_ratio()).collect();
     for pair in ratios.windows(2) {
         assert!(
@@ -119,7 +143,13 @@ fn resident_working_set_converges_to_cold_misses_only() {
     };
     // 2 CPUs x 1 MB regions, looping: fits the 8 MB emulated cache.
     let mut w = Sequential::new(2, 1 << 20, 128);
-    let result = Experiment::new(host, board).unwrap().run(&mut w, 100_000);
+    let result = EmulationSession::builder()
+        .host(host)
+        .board(board)
+        .build()
+        .unwrap()
+        .run(&mut w, 100_000)
+        .unwrap();
     let stats = &result.node_stats[0];
     // Every miss after warmup is cold; total misses == cold misses.
     assert_eq!(
@@ -140,8 +170,12 @@ fn resident_working_set_converges_to_cold_misses_only() {
 fn utilization_and_time_accounting_are_consistent() {
     let board = BoardConfig::single_node(cache(2 << 20), (0..8).map(ProcId::new)).unwrap();
     let mut w = UniformRandom::new(8, 64 << 20, 0.3, 7);
-    let exp = Experiment::new(host(), board).unwrap();
-    let result = exp.run(&mut w, 50_000);
+    let session = EmulationSession::builder()
+        .host(host())
+        .board(board)
+        .build()
+        .unwrap();
+    let result = session.run(&mut w, 50_000).unwrap();
     let util = result.bus.utilization();
     assert!(util > 0.0 && util <= 1.0);
     // The board's global counters saw every bus transaction.
@@ -165,7 +199,13 @@ fn domains_compose_with_multi_node_partitions() {
     ];
     let board = BoardConfig::from_slots(slots).unwrap();
     let mut w = OltpWorkload::new(OltpConfig::scaled_default());
-    let result = Experiment::new(host(), board).unwrap().run(&mut w, 120_000);
+    let result = EmulationSession::builder()
+        .host(host())
+        .board(board)
+        .build()
+        .unwrap()
+        .run(&mut w, 120_000)
+        .unwrap();
 
     // Within each domain, the node pair covers all CPUs: the domains saw
     // the same demand traffic in total.

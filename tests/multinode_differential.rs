@@ -146,8 +146,18 @@ fn long_deterministic_multinode_trace_agrees() {
         })
         .collect();
     let slots = vec![
-        (params(256 << 10, 4), standard::mesi(), 0u8, (0..4).map(ProcId::new).collect()),
-        (params(256 << 10, 4), standard::mesi(), 0u8, (4..8).map(ProcId::new).collect()),
+        (
+            params(256 << 10, 4),
+            standard::mesi(),
+            0u8,
+            (0..4).map(ProcId::new).collect(),
+        ),
+        (
+            params(256 << 10, 4),
+            standard::mesi(),
+            0u8,
+            (4..8).map(ProcId::new).collect(),
+        ),
     ];
     run_both(slots, &trace);
 }

@@ -75,10 +75,10 @@ fn run(dir_sets: usize, remote_cache: bool, refs: u64) -> NumaEmulator {
         }
     }
     drop(machine.detach_listeners());
-    Rc::try_unwrap(shared)
-        .ok()
-        .expect("last handle")
-        .into_inner()
+    let Ok(cell) = Rc::try_unwrap(shared) else {
+        panic!("last handle");
+    };
+    cell.into_inner()
 }
 
 #[test]

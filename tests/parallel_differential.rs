@@ -1,0 +1,191 @@
+//! Differential proof that the sharded parallel engine is bit-identical
+//! to serial emulation — the acceptance gate for the parallel snoop path.
+//!
+//! Two layers:
+//!
+//! * End-to-end: the same OLTP / DSS / SPLASH2 traffic driven through an
+//!   [`EmulationSession`] at 1, 2, 4, and 8 shards must produce the
+//!   *identical* full statistics dump (every 40-bit counter of every
+//!   node, the global counters, and the retry count).
+//! * Property: shard-local [`GlobalCounters`] merged in any grouping
+//!   equal the serially observed totals — the merge is a commutative
+//!   monoid over disjoint sub-streams.
+
+use memories::{CacheParams, GlobalCounters};
+use memories_bus::{Address, BusOp, ProcId, SnoopResponse, Transaction};
+use memories_console::{EmulationSession, ExperimentResult};
+use memories_host::HostConfig;
+use memories_workloads::splash::Fmm;
+use memories_workloads::{DssConfig, DssWorkload, OltpConfig, OltpWorkload, Workload};
+use proptest::prelude::*;
+
+fn params(capacity: u64) -> CacheParams {
+    CacheParams::builder()
+        .capacity(capacity)
+        .ways(4)
+        .line_size(128)
+        .allow_scaled_down()
+        .build()
+        .unwrap()
+}
+
+fn host() -> HostConfig {
+    HostConfig {
+        num_cpus: 8,
+        inner_cache: None,
+        outer_cache: memories_bus::Geometry::new(128 << 10, 4, 128).unwrap(),
+        ..HostConfig::s7a()
+    }
+}
+
+/// A Figure 4 parallel-configuration board: four cache candidates, each
+/// its own coherence domain — the shape the sharded engine accelerates.
+fn board() -> memories::BoardConfig {
+    memories::BoardConfig::parallel_configs(
+        vec![
+            params(1 << 20),
+            params(2 << 20),
+            params(4 << 20),
+            params(8 << 20),
+        ],
+        (0..8).map(ProcId::new).collect(),
+    )
+    .unwrap()
+}
+
+fn run(make: &dyn Fn() -> Box<dyn Workload>, shards: usize, refs: u64) -> ExperimentResult {
+    let session = EmulationSession::builder()
+        .host(host())
+        .board(board())
+        .parallelism(shards)
+        .batch(512)
+        .build()
+        .unwrap();
+    let mut workload = make();
+    session.run(&mut *workload, refs).unwrap()
+}
+
+fn assert_shards_match_serial(name: &str, make: &dyn Fn() -> Box<dyn Workload>, refs: u64) {
+    let serial = run(make, 1, refs);
+    assert_eq!(
+        serial.retries_posted, 0,
+        "{name}: healthy run must not retry"
+    );
+    for shards in [2usize, 4, 8] {
+        let parallel = run(make, shards, refs);
+        assert_eq!(
+            serial.board.statistics_report(),
+            parallel.board.statistics_report(),
+            "{name}: {shards}-shard statistics dump diverged from serial"
+        );
+        assert_eq!(
+            serial.retries_posted, parallel.retries_posted,
+            "{name}: {shards}-shard retry count diverged"
+        );
+        for (node, (s, p)) in serial
+            .node_stats
+            .iter()
+            .zip(&parallel.node_stats)
+            .enumerate()
+        {
+            assert_eq!(
+                s.counters(),
+                p.counters(),
+                "{name}: node {node} counters diverged at {shards} shards"
+            );
+        }
+        assert_eq!(serial.bus.transactions, parallel.bus.transactions);
+        assert_eq!(
+            serial.machine.total_loads() + serial.machine.total_stores(),
+            parallel.machine.total_loads() + parallel.machine.total_stores(),
+        );
+    }
+}
+
+#[test]
+fn oltp_traffic_is_bit_identical_across_shard_counts() {
+    let make: Box<dyn Fn() -> Box<dyn Workload>> = Box::new(|| {
+        Box::new(OltpWorkload::new(OltpConfig {
+            journal: None,
+            ..OltpConfig::scaled_default()
+        }))
+    });
+    assert_shards_match_serial("oltp", &*make, 30_000);
+}
+
+#[test]
+fn dss_traffic_is_bit_identical_across_shard_counts() {
+    let make: Box<dyn Fn() -> Box<dyn Workload>> =
+        Box::new(|| Box::new(DssWorkload::new(DssConfig::scaled_default())));
+    assert_shards_match_serial("dss", &*make, 30_000);
+}
+
+#[test]
+fn splash2_traffic_is_bit_identical_across_shard_counts() {
+    let make: Box<dyn Fn() -> Box<dyn Workload>> =
+        Box::new(|| Box::new(Fmm::scaled(8, 1 << 14, 7)));
+    assert_shards_match_serial("splash2-fmm", &*make, 30_000);
+}
+
+fn arb_transaction() -> impl Strategy<Value = (u8, u8, u64, u64)> {
+    (
+        0u8..BusOp::ALL.len() as u8,
+        0u8..8,
+        0u64..(1u64 << 20),
+        1u64..32,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Shard-merged global counters equal serial observation, for any
+    /// transaction stream and any number of shard-local counter banks:
+    /// dealing the stream round-robin over k banks and merging them
+    /// reproduces the serially observed totals exactly.
+    #[test]
+    fn shard_merged_global_counters_equal_serial_totals(
+        raw in prop::collection::vec(arb_transaction(), 1..400),
+        k in 1usize..9,
+    ) {
+        let mut cycle = 0u64;
+        let txns: Vec<Transaction> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(op, proc, line, gap))| {
+                cycle += gap;
+                Transaction::new(
+                    i as u64,
+                    cycle,
+                    ProcId::new(proc),
+                    BusOp::ALL[op as usize],
+                    Address::new(line * 128),
+                    SnoopResponse::Null,
+                )
+            })
+            .collect();
+
+        let mut serial = GlobalCounters::default();
+        for t in &txns {
+            serial.observe(t);
+        }
+
+        let mut banks = vec![GlobalCounters::default(); k];
+        for (i, t) in txns.iter().enumerate() {
+            banks[i % k].observe(t);
+        }
+        let mut merged = GlobalCounters::default();
+        for bank in &banks {
+            merged.merge(bank);
+        }
+
+        prop_assert_eq!(merged.transactions(), serial.transactions());
+        for op in BusOp::ALL {
+            prop_assert_eq!(merged.count(op), serial.count(op));
+        }
+        prop_assert_eq!(
+            merged.observed_span_cycles(),
+            serial.observed_span_cycles()
+        );
+    }
+}

@@ -2,7 +2,7 @@
 
 use memories::{BoardConfig, CacheParams, MemoriesBoard, NodeCounter, TraceCapture};
 use memories_bus::{Address, BusListener, BusOp, NodeId, ProcId, SnoopResponse, Transaction};
-use memories_console::{Experiment, Shared};
+use memories_console::{EmulationSession, Shared};
 use memories_host::{HostConfig, MesiState};
 use memories_workloads::micro::UniformRandom;
 
@@ -31,10 +31,14 @@ fn host(cpus: usize) -> HostConfig {
 fn attaching_the_board_does_not_perturb_the_host() {
     let run = |with_board: bool| {
         let board = BoardConfig::single_node(cache(1 << 20), (0..4).map(ProcId::new)).unwrap();
-        let exp = Experiment::new(host(4), board).unwrap();
+        let session = EmulationSession::builder()
+            .host(host(4))
+            .board(board)
+            .build()
+            .unwrap();
         let mut w = UniformRandom::new(4, 8 << 20, 0.3, 42);
         if with_board {
-            let r = exp.run(&mut w, 40_000);
+            let r = session.run(&mut w, 40_000).unwrap();
             (r.machine.total().clone(), r.bus.transactions)
         } else {
             // Same machine, no board: drive it directly.
