@@ -1,0 +1,111 @@
+//! Monitoring overhead: a sampled (snapshot-barrier) run vs. a plain run
+//! over the same stream.
+//!
+//! The physical board's console reads counters mid-run for free — the
+//! FPGAs never stop. The software engine pays for each sample with a
+//! snapshot barrier (flush the partial batch, collect per-shard counter
+//! copies, merge overflow masks). The acceptance target is <10% overhead
+//! at the default 4096-admitted-transaction period; EXPERIMENTS.md
+//! records measured numbers per host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use memories::{BoardConfig, CacheParams, MemoriesBoard};
+use memories_bus::{Address, BusOp, ProcId, SnoopResponse, Transaction};
+use memories_sim::{EmulationEngine, EngineConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn params(capacity: u64) -> CacheParams {
+    CacheParams::builder()
+        .capacity(capacity)
+        .ways(4)
+        .line_size(128)
+        .allow_scaled_down()
+        .build()
+        .expect("valid bench parameters")
+}
+
+/// The 4-config sweep board (same shape as the board_parallel bench).
+fn sweep_board() -> BoardConfig {
+    BoardConfig::parallel_configs(
+        vec![
+            params(2 << 20),
+            params(8 << 20),
+            params(32 << 20),
+            params(128 << 20),
+        ],
+        (0..8).map(ProcId::new).collect(),
+    )
+    .expect("valid 4-config board")
+}
+
+fn transactions(n: usize) -> Vec<Transaction> {
+    let mut rng = SmallRng::seed_from_u64(42);
+    (0..n as u64)
+        .map(|i| {
+            let op = match rng.random_range(0..10) {
+                0..=5 => BusOp::Read,
+                6..=7 => BusOp::Rwitm,
+                8 => BusOp::DClaim,
+                _ => BusOp::WriteBack,
+            };
+            Transaction::new(
+                i,
+                i * 60, // 20% utilization spacing
+                ProcId::new(rng.random_range(0..8)),
+                op,
+                Address::new(rng.random_range(0..1u64 << 20) * 128),
+                SnoopResponse::Null,
+            )
+        })
+        .collect()
+}
+
+fn run_sampled(
+    cfg: &BoardConfig,
+    engine_cfg: EngineConfig,
+    sample_every: Option<u64>,
+    txns: &[Transaction],
+) -> u64 {
+    let board = MemoriesBoard::new(cfg.clone()).expect("valid board");
+    let mut engine = EmulationEngine::new(board, engine_cfg);
+    if let Some(period) = sample_every {
+        engine.sample_every(period);
+    }
+    engine.feed_all(txns);
+    let (board, report) = engine.finish_monitored().expect("engine finishes cleanly");
+    board.global().transactions() + report.series.len() as u64
+}
+
+fn bench_monitoring(c: &mut Criterion) {
+    let txns = transactions(100_000);
+    let cfg = sweep_board();
+    let mut group = c.benchmark_group("board_monitoring");
+    group.throughput(Throughput::Elements(txns.len() as u64));
+
+    for (mode, engine_cfg) in [
+        ("serial", EngineConfig::serial()),
+        ("parallel4", EngineConfig::parallel(4)),
+    ] {
+        group.bench_function(BenchmarkId::new(mode, "unmonitored"), |b| {
+            b.iter(|| black_box(run_sampled(&cfg, engine_cfg, None, &txns)));
+        });
+        // The acceptance point (every 4096 admitted) plus a 16x-denser
+        // period to expose the barrier cost curve.
+        for period in [4096u64, 256] {
+            group.bench_function(BenchmarkId::new(mode, format!("sampled_{period}")), |b| {
+                b.iter(|| black_box(run_sampled(&cfg, engine_cfg, Some(period), &txns)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_monitoring
+}
+criterion_main!(benches);

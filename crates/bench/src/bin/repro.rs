@@ -4,7 +4,7 @@
 //! repro [--quick] <experiment | all>
 //!
 //! experiments: table1 table2 table3 table4 table5 table6
-//!              fig8 fig9 fig10 fig11 fig12 retries
+//!              fig8 fig9 fig10 fig11 fig12 retries ablation monitoring
 //! ```
 
 use std::env;
@@ -13,9 +13,21 @@ use std::process::ExitCode;
 use memories_bench::experiments;
 use memories_bench::Scale;
 
-const EXPERIMENTS: [&str; 13] = [
-    "table1", "table2", "table3", "table4", "table5", "table6", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "retries", "ablation",
+const EXPERIMENTS: [&str; 14] = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "retries",
+    "ablation",
+    "monitoring",
 ];
 
 fn run_one(name: &str, scale: Scale) -> Result<String, String> {
@@ -33,6 +45,7 @@ fn run_one(name: &str, scale: Scale) -> Result<String, String> {
         "fig12" => experiments::fig12::run(scale).render(),
         "retries" => experiments::retries::run(scale).render(),
         "ablation" => experiments::ablation::run(scale).render(),
+        "monitoring" => experiments::monitoring::run(scale).render(),
         other => return Err(format!("unknown experiment {other:?}")),
     };
     Ok(out)

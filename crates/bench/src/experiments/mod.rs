@@ -6,6 +6,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig8;
 pub mod fig9;
+pub mod monitoring;
 pub mod retries;
 pub mod table1;
 pub mod table2;

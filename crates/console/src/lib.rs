@@ -57,5 +57,7 @@ mod shared;
 pub use console::{Console, ConsoleError};
 #[allow(deprecated)]
 pub use runner::{replay_trace, Experiment, ExperimentError, ExperimentResult, ProfilePoint};
-pub use session::{EmulationSession, EmulationSessionBuilder, ReplayResult, SessionError};
+pub use session::{
+    EmulationSession, EmulationSessionBuilder, MonitoredRun, ReplayResult, SessionError,
+};
 pub use shared::Shared;

@@ -40,8 +40,9 @@ use memories::{
 };
 use memories_bus::{BusListener, ListenerReaction, NodeId, ProcId, Transaction};
 use memories_host::{AccessKind, HostConfig, HostMachine};
+use memories_obs::{EngineTelemetry, TimeSeries};
 use memories_protocol::ProtocolTable;
-use memories_sim::{EmulationEngine, EngineConfig};
+use memories_sim::{EmulationEngine, EngineConfig, MonitorReport};
 use memories_trace::TraceRecord;
 use memories_workloads::{RefKind, Workload, WorkloadEvent};
 
@@ -102,6 +103,7 @@ pub struct EmulationSessionBuilder {
     allow_retry: Option<bool>,
     parallelism: usize,
     batch: Option<usize>,
+    sample_every: Option<u64>,
     misuse: Option<SessionError>,
     parse_error: Option<memories_protocol::ProtocolParseError>,
 }
@@ -221,6 +223,19 @@ impl EmulationSessionBuilder {
         self
     }
 
+    /// Enables live counter sampling for monitored runs: every `period`
+    /// admitted transactions the engine snapshots the board's counters
+    /// into the time series that
+    /// [`run_monitored`](EmulationSession::run_monitored) /
+    /// [`replay_monitored`](EmulationSession::replay_monitored) return.
+    /// A `period` of 0 is treated as 1. Without this call, monitored
+    /// runs still return telemetry but an empty series.
+    #[must_use]
+    pub fn sample_every(mut self, period: u64) -> Self {
+        self.sample_every = Some(period.max(1));
+        self
+    }
+
     /// Validates everything and produces a runnable session.
     ///
     /// # Errors
@@ -271,6 +286,7 @@ impl EmulationSessionBuilder {
             board,
             parallelism: self.parallelism.max(1),
             batch: self.batch.unwrap_or(EngineConfig::DEFAULT_BATCH),
+            sample_every: self.sample_every,
         })
     }
 }
@@ -282,6 +298,22 @@ pub struct ReplayResult {
     pub board: MemoriesBoard,
     /// Trace records replayed.
     pub records: u64,
+}
+
+/// The outcome of [`EmulationSession::run_monitored`]: the usual
+/// experiment statistics plus the live counter series and the engine's
+/// own telemetry.
+#[derive(Debug)]
+pub struct MonitoredRun {
+    /// The same statistics [`EmulationSession::run`] returns.
+    pub result: ExperimentResult,
+    /// Counter samples taken every
+    /// [`sample_every`](EmulationSessionBuilder::sample_every) admitted
+    /// transactions (empty if sampling was not enabled).
+    pub series: TimeSeries,
+    /// Engine performance counters: batches, stalls, per-shard
+    /// throughput, wall time.
+    pub telemetry: EngineTelemetry,
 }
 
 /// A validated emulation setup, ready to run a live workload or replay a
@@ -298,6 +330,7 @@ pub struct EmulationSession {
     board: BoardConfig,
     parallelism: usize,
     batch: usize,
+    sample_every: Option<u64>,
 }
 
 impl EmulationSession {
@@ -362,29 +395,7 @@ impl EmulationSession {
         ));
         machine.attach_listener(Box::new(EngineFeed(engine.handle())));
 
-        let mut done: u64 = 0;
-        while done < refs {
-            match workload.next_event() {
-                WorkloadEvent::Ref(r) => {
-                    let kind = match r.kind {
-                        RefKind::Load => AccessKind::Load,
-                        RefKind::Store => AccessKind::Store,
-                    };
-                    machine.access(r.cpu, kind, r.addr);
-                    done += 1;
-                }
-                WorkloadEvent::Instructions { cpu, count } => {
-                    machine.tick_instructions(cpu, count);
-                }
-                WorkloadEvent::Dma { write, addr } => {
-                    if write {
-                        machine.dma_write(addr);
-                    } else {
-                        machine.dma_read(addr);
-                    }
-                }
-            }
-        }
+        drive(&mut machine, workload, refs);
 
         let machine_stats = machine.stats();
         let bus = machine.bus().stats().clone();
@@ -406,6 +417,71 @@ impl EmulationSession {
         })
     }
 
+    /// Like [`EmulationSession::run`], but through the monitored engine:
+    /// returns the usual statistics *plus* the live counter series
+    /// (sampled every [`sample_every`](EmulationSessionBuilder::sample_every)
+    /// admitted transactions — the board console's "watch the counters
+    /// while it runs" mode) and the engine's own telemetry.
+    ///
+    /// Runs the engine for any parallelism (serial included). With
+    /// sampling disabled the engine takes no barriers, so the final
+    /// counters are bit-identical to [`EmulationSession::run`]; with
+    /// sampling enabled they still are, because barrier-induced batch
+    /// boundaries don't change results (see [`EmulationEngine`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`EmulationSession::run`], plus any engine sampling failure.
+    pub fn run_monitored(
+        &self,
+        workload: &mut dyn Workload,
+        refs: u64,
+    ) -> Result<MonitoredRun, Error> {
+        let host = self.host.clone().ok_or(SessionError::MissingHost)?;
+        let mut machine = HostMachine::new(host).map_err(Error::host)?;
+        let board = MemoriesBoard::new(self.board.clone())?;
+        let mut raw = EmulationEngine::new(board, self.engine_config());
+        if let Some(period) = self.sample_every {
+            raw.sample_every(period);
+        }
+        let engine = Shared::new(raw);
+        machine.attach_listener(Box::new(EngineFeed(engine.handle())));
+
+        drive(&mut machine, workload, refs);
+
+        let machine_stats = machine.stats();
+        let bus = machine.bus().stats().clone();
+        drop(machine.detach_listeners());
+        let engine = engine
+            .try_unwrap()
+            .map_err(|_| ())
+            .expect("session holds the last engine handle after detaching listeners");
+        let (board, MonitorReport { series, telemetry }) = engine.finish_monitored()?;
+        Ok(MonitoredRun {
+            result: ExperimentResult {
+                node_stats: (0..board.node_count())
+                    .map(|i| board.node_stats(NodeId::new(i as u8)))
+                    .collect(),
+                machine: machine_stats,
+                bus,
+                retries_posted: board.retries_posted(),
+                profile: Vec::new(),
+                board,
+            },
+            series,
+            telemetry,
+        })
+    }
+
+    /// The engine configuration this session's parallelism implies.
+    fn engine_config(&self) -> EngineConfig {
+        if self.parallelism <= 1 {
+            EngineConfig::serial()
+        } else {
+            EngineConfig::parallel(self.parallelism).with_batch(self.batch)
+        }
+    }
+
     /// Replays captured trace records through a fresh board offline — the
     /// paper's repeatable off-line analysis path (§1) — re-timed at
     /// `cycle_spacing` bus cycles per record (60 ≈ the paper's 20%
@@ -421,12 +497,7 @@ impl EmulationSession {
         E: Into<Error>,
     {
         let board = MemoriesBoard::new(self.board.clone())?;
-        let config = if self.parallelism <= 1 {
-            EngineConfig::serial()
-        } else {
-            EngineConfig::parallel(self.parallelism).with_batch(self.batch)
-        };
-        let mut engine = EmulationEngine::new(board, config);
+        let mut engine = EmulationEngine::new(board, self.engine_config());
         let mut n = 0u64;
         for rec in records {
             let rec = rec.map_err(Into::into)?;
@@ -437,6 +508,66 @@ impl EmulationSession {
             board: engine.finish()?,
             records: n,
         })
+    }
+
+    /// Like [`EmulationSession::replay`], but also samples the counters
+    /// every [`sample_every`](EmulationSessionBuilder::sample_every)
+    /// admitted transactions and returns the series and telemetry
+    /// alongside the replayed board.
+    ///
+    /// # Errors
+    ///
+    /// As [`EmulationSession::replay`], plus any engine sampling failure.
+    pub fn replay_monitored<I, E>(
+        &self,
+        records: I,
+        cycle_spacing: u64,
+    ) -> Result<(ReplayResult, MonitorReport), Error>
+    where
+        I: IntoIterator<Item = Result<TraceRecord, E>>,
+        E: Into<Error>,
+    {
+        let board = MemoriesBoard::new(self.board.clone())?;
+        let mut engine = EmulationEngine::new(board, self.engine_config());
+        if let Some(period) = self.sample_every {
+            engine.sample_every(period);
+        }
+        let mut n = 0u64;
+        for rec in records {
+            let rec = rec.map_err(Into::into)?;
+            engine.feed(&rec.to_transaction(n, n * cycle_spacing));
+            n += 1;
+        }
+        let (board, report) = engine.finish_monitored()?;
+        Ok((ReplayResult { board, records: n }, report))
+    }
+}
+
+/// Pumps `refs` workload references through the host machine (plus any
+/// interleaved instruction ticks and DMA the workload emits).
+fn drive(machine: &mut HostMachine, workload: &mut dyn Workload, refs: u64) {
+    let mut done: u64 = 0;
+    while done < refs {
+        match workload.next_event() {
+            WorkloadEvent::Ref(r) => {
+                let kind = match r.kind {
+                    RefKind::Load => AccessKind::Load,
+                    RefKind::Store => AccessKind::Store,
+                };
+                machine.access(r.cpu, kind, r.addr);
+                done += 1;
+            }
+            WorkloadEvent::Instructions { cpu, count } => {
+                machine.tick_instructions(cpu, count);
+            }
+            WorkloadEvent::Dma { write, addr } => {
+                if write {
+                    machine.dma_write(addr);
+                } else {
+                    machine.dma_read(addr);
+                }
+            }
+        }
     }
 }
 
@@ -560,6 +691,54 @@ mod tests {
                 "{shards}-shard run diverged from serial"
             );
             assert_eq!(serial.bus.transactions, par.bus.transactions);
+        }
+    }
+
+    #[test]
+    fn monitored_run_matches_plain_run_and_samples() {
+        let configs = vec![params(1 << 20), params(2 << 20)];
+        let cpus: Vec<ProcId> = (0..2).map(ProcId::new).collect();
+        let board = BoardConfig::parallel_configs(configs, cpus).unwrap();
+
+        for parallelism in [1, 2] {
+            let make = |sample: Option<u64>| {
+                let mut b = EmulationSession::builder()
+                    .host(host(2))
+                    .board(board.clone())
+                    .parallelism(parallelism)
+                    .batch(256);
+                if let Some(n) = sample {
+                    b = b.sample_every(n);
+                }
+                b.build().unwrap()
+            };
+            let mut w = UniformRandom::new(2, 16 << 20, 0.3, 9);
+            let plain = make(None).run(&mut w, 20_000).unwrap();
+
+            // Sampling disabled: bit-identical to run().
+            let mut w = UniformRandom::new(2, 16 << 20, 0.3, 9);
+            let silent = make(None).run_monitored(&mut w, 20_000).unwrap();
+            assert_eq!(
+                plain.board.statistics_report(),
+                silent.result.board.statistics_report()
+            );
+            assert!(silent.series.is_empty());
+            assert!(silent.telemetry.seen > 0);
+
+            // Sampling enabled: still bit-identical, series populated.
+            let mut w = UniformRandom::new(2, 16 << 20, 0.3, 9);
+            let monitored = make(Some(1_000)).run_monitored(&mut w, 20_000).unwrap();
+            assert_eq!(
+                plain.board.statistics_report(),
+                monitored.result.board.statistics_report()
+            );
+            assert!(
+                monitored.series.len() >= 5,
+                "parallelism {parallelism}: expected samples, got {}",
+                monitored.series.len()
+            );
+            let last = monitored.series.last().unwrap();
+            assert!(last.cumulative.demand_references > 0);
         }
     }
 

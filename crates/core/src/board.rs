@@ -189,9 +189,9 @@ impl GlobalCounters {
     /// to observing it serially — the property the parallel engine's
     /// barrier merge relies on.
     pub fn merge(&mut self, other: &GlobalCounters) {
-        self.transactions.add(other.transactions.value());
+        self.transactions.merge(other.transactions);
         for (mine, theirs) in self.by_op.iter_mut().zip(&other.by_op) {
-            mine.add(theirs.value());
+            mine.merge(*theirs);
         }
         self.first_cycle = match (self.first_cycle, other.first_cycle) {
             (Some(a), Some(b)) => Some(a.min(b)),
@@ -208,6 +208,21 @@ impl GlobalCounters {
     /// Transactions of one kind.
     pub fn count(&self, op: BusOp) -> u64 {
         self.by_op[op.index()].value()
+    }
+
+    /// Whether any global counter saturated (the 40-bit ceiling).
+    pub fn any_saturated(&self) -> bool {
+        self.transactions.saturated() || self.by_op.iter().any(|c| c.saturated())
+    }
+
+    /// Bus cycle of the first observed transaction (`None` before any).
+    pub fn first_cycle(&self) -> Option<u64> {
+        self.first_cycle
+    }
+
+    /// Bus cycle of the most recent observed transaction (0 before any).
+    pub fn last_cycle(&self) -> u64 {
+        self.last_cycle
     }
 
     /// Bus cycles between the first and last observed transaction.
@@ -270,6 +285,12 @@ impl BoardFrontEnd {
     /// Whether buffer overflow posts a bus retry.
     pub fn allow_retry(&self) -> bool {
         self.allow_retry
+    }
+
+    /// Retries credited so far (live in serial operation; batched
+    /// engines credit them via [`BoardFrontEnd::record_overflows`]).
+    pub fn retries_posted(&self) -> u64 {
+        self.retries_posted
     }
 
     /// The address filter (partition and filter statistics).
@@ -467,6 +488,25 @@ impl MemoriesBoard {
     /// runs — §3.3).
     pub fn retries_posted(&self) -> u64 {
         self.front.retries_posted
+    }
+
+    /// A point-in-time copy of every counter the console can read while
+    /// the workload keeps running — the live-monitoring primitive (§3's
+    /// "counters readable while the workload runs"). Copies counters
+    /// only; directories and tag stores are untouched, so a snapshot
+    /// never perturbs the emulation.
+    pub fn snapshot(&self) -> crate::snapshot::BoardSnapshot {
+        crate::snapshot::BoardSnapshot {
+            global: self.front.global.clone(),
+            filter: *self.front.filter.stats(),
+            retries_posted: self.front.retries_posted,
+            nodes: self
+                .shard
+                .nodes()
+                .iter()
+                .map(|n| n.counters().clone())
+                .collect(),
+        }
     }
 
     /// Renders a full statistics report — the console software's
@@ -881,6 +921,49 @@ mod tests {
             assert_eq!(merged.count(op), serial.count(op));
         }
         assert_eq!(merged.observed_span_cycles(), serial.observed_span_cycles());
+    }
+
+    #[test]
+    fn global_merge_preserves_saturation() {
+        // A shard-local bank whose transaction counter saturated must
+        // yield a saturated merged counter even when the re-summed value
+        // lands exactly on the 40-bit ceiling (merge into a zero bank).
+        let mut saturated_txns = Counter40::of(Counter40::MAX);
+        saturated_txns.add(1);
+        let part = GlobalCounters {
+            transactions: saturated_txns,
+            ..GlobalCounters::default()
+        };
+        assert!(part.any_saturated());
+        let mut merged = GlobalCounters::default();
+        merged.merge(&part);
+        assert_eq!(merged.transactions(), Counter40::MAX);
+        assert!(
+            merged.any_saturated(),
+            "merge silently re-summed a saturated counter"
+        );
+    }
+
+    #[test]
+    fn snapshot_is_consistent_with_live_counters() {
+        let cfg = BoardConfig::single_node(params(4096), (0..8).map(ProcId::new)).unwrap();
+        let mut b = MemoriesBoard::new(cfg).unwrap();
+        for i in 0..100u64 {
+            b.on_transaction(&txn(i, (i % 8) as u8, BusOp::Read, (i % 16) * 128));
+        }
+        let snap = b.snapshot();
+        assert_eq!(snap.global.transactions(), 100);
+        assert_eq!(snap.filter, *b.filter().stats());
+        assert_eq!(snap.nodes.len(), 1);
+        assert_eq!(&snap.nodes[0], b.node(NodeId::new(0)).counters());
+        assert_eq!(
+            snap.node_stats(0).demand_references(),
+            b.node_stats(NodeId::new(0)).demand_references()
+        );
+        // Snapshots are passive: the board keeps running unchanged.
+        b.on_transaction(&txn(100, 0, BusOp::Read, 0));
+        assert_eq!(snap.global.transactions(), 100);
+        assert_eq!(b.global().transactions(), 101);
     }
 
     #[test]

@@ -37,6 +37,13 @@ impl Counter40 {
         }
     }
 
+    /// A counter already holding `n`, saturating at [`Counter40::MAX`].
+    pub fn of(n: u64) -> Self {
+        let mut c = Counter40::new();
+        c.add(n);
+        c
+    }
+
     /// Adds `n`, saturating at [`Counter40::MAX`].
     pub fn add(&mut self, n: u64) {
         let sum = self.value.saturating_add(n);
@@ -46,6 +53,17 @@ impl Counter40 {
         } else {
             self.value = sum;
         }
+    }
+
+    /// Folds another counter into this one, saturating the sum and
+    /// preserving the saturation flag: a counter that overflowed in *any*
+    /// merged part must read as overflowed in the whole, even when the
+    /// summed value happens to land exactly on [`Counter40::MAX`].
+    /// This is the merge the parallel engine's shard reassembly relies
+    /// on; plain `add(other.value())` would silently drop the flag.
+    pub fn merge(&mut self, other: Counter40) {
+        self.add(other.value);
+        self.saturated |= other.saturated;
     }
 
     /// Increments by one.
@@ -234,6 +252,17 @@ impl NodeCounters {
         self.counters.iter().any(|c| c.saturated())
     }
 
+    /// Folds another bank into this one counter-by-counter (saturating,
+    /// saturation-flag preserving — see [`Counter40::merge`]). Like
+    /// [`GlobalCounters`](crate::GlobalCounters), a bank is a commutative
+    /// monoid under this merge, which is what lets per-shard snapshots be
+    /// combined into a whole-board view.
+    pub fn merge(&mut self, other: &NodeCounters) {
+        for (mine, theirs) in self.counters.iter_mut().zip(&other.counters) {
+            mine.merge(*theirs);
+        }
+    }
+
     /// Zeroes every counter (the console's statistics-reset command).
     pub fn reset(&mut self) {
         for c in &mut self.counters {
@@ -284,6 +313,41 @@ mod tests {
         let txn_per_sec = 100_000_000.0 * 0.2 / 12.0;
         let thirty_hours = txn_per_sec * 30.0 * 3600.0;
         assert!(thirty_hours < Counter40::MAX as f64);
+    }
+
+    #[test]
+    fn merge_preserves_saturation_even_at_exact_max() {
+        // A saturated part whose value re-sums to exactly MAX must still
+        // read as saturated after the merge.
+        let mut saturated = Counter40::of(Counter40::MAX);
+        saturated.add(1);
+        assert!(saturated.saturated());
+        assert_eq!(saturated.value(), Counter40::MAX);
+
+        let mut merged = Counter40::new(); // value 0: sum lands on MAX exactly
+        merged.merge(saturated);
+        assert_eq!(merged.value(), Counter40::MAX);
+        assert!(merged.saturated(), "merge dropped the saturation flag");
+
+        // And an unsaturated pair whose sum stays below MAX stays clean.
+        let mut a = Counter40::of(10);
+        a.merge(Counter40::of(20));
+        assert_eq!(a.value(), 30);
+        assert!(!a.saturated());
+    }
+
+    #[test]
+    fn bank_merge_sums_and_keeps_flags() {
+        let mut a = NodeCounters::new();
+        a.add(NodeCounter::ReadHits, 5);
+        let mut b = NodeCounters::new();
+        b.add(NodeCounter::ReadHits, 7);
+        b.add(NodeCounter::WriteMisses, Counter40::MAX);
+        b.add(NodeCounter::WriteMisses, 1); // saturate
+        a.merge(&b);
+        assert_eq!(a.get(NodeCounter::ReadHits), 12);
+        assert!(a.counter(NodeCounter::WriteMisses).saturated());
+        assert!(a.any_saturated());
     }
 
     #[test]

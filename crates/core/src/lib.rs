@@ -86,6 +86,7 @@ mod node;
 mod params;
 mod replacement;
 mod shard;
+mod snapshot;
 mod stats;
 mod tagstore;
 mod timing;
@@ -96,13 +97,14 @@ pub mod tracecap;
 pub use board::{BoardConfig, BoardFrontEnd, GlobalCounters, MemoriesBoard, NodeSlot};
 pub use counters::{Counter40, NodeCounter, NodeCounters};
 pub use error::{BoardError, Error};
-pub use filter::{AddressFilter, FilterConfig, NodePartition};
+pub use filter::{AddressFilter, FilterConfig, FilterStats, NodePartition};
 pub use hotspot::{Granularity, HotSpotProfiler, HotSpotReport};
 pub use node::{NodeController, NodeOutcome};
 pub use numa::NumaEmulator;
 pub use params::{CacheParams, CacheParamsBuilder, ParamError};
 pub use replacement::ReplacementPolicy;
 pub use shard::NodeShard;
+pub use snapshot::BoardSnapshot;
 pub use stats::{FillBreakdown, NodeStats};
 pub use tagstore::{EvictedLine, TagStore};
 pub use timing::{SdramModel, TimingConfig, TransactionBuffer};

@@ -93,6 +93,18 @@ impl NodeShard {
         self.indices.into_iter().zip(self.nodes)
     }
 
+    /// Copies every member's counter bank as `(global node id, counters)`
+    /// pairs — the shard's contribution to a mid-run
+    /// [`BoardSnapshot`](crate::BoardSnapshot). Counters only; tag
+    /// stores and directories are not touched.
+    pub fn counters_snapshot(&self) -> Vec<(u8, crate::NodeCounters)> {
+        self.indices
+            .iter()
+            .zip(&self.nodes)
+            .map(|(id, n)| (*id, n.counters().clone()))
+            .collect()
+    }
+
     /// Snoops one *admitted* transaction in lock step across this shard's
     /// controllers, exactly as the serial board does: phase 1 classifies
     /// each member and snapshots remote summaries from pre-transaction

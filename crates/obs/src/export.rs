@@ -1,0 +1,132 @@
+//! Serializing a [`TimeSeries`] as JSONL or CSV.
+//!
+//! Hand-rolled (the workspace carries no serialization dependency): the
+//! schema is flat — one row per sample, no nesting — so a few `write!`
+//! calls cover it. Every float the exporters emit comes from the rate
+//! helpers on [`SampleStats`](crate::SampleStats), which return finite
+//! values by construction, keeping the JSON valid.
+
+use std::io::{self, Write};
+
+use crate::series::{SamplePoint, TimeSeries};
+
+/// Column order shared by both exporters (the CSV header line).
+pub const COLUMNS: &[&str] = &[
+    "index",
+    "cycle",
+    "admitted",
+    "seen",
+    "retries",
+    "miss_rate",
+    "window_admitted",
+    "window_miss_rate",
+    "window_intervention_rate",
+    "window_utilization",
+];
+
+fn row(p: &SamplePoint) -> [String; 10] {
+    [
+        p.index.to_string(),
+        p.cycle.to_string(),
+        p.cumulative.admitted.to_string(),
+        p.cumulative.seen.to_string(),
+        p.cumulative.retries.to_string(),
+        format!("{:.6}", p.cumulative.miss_rate()),
+        p.window.admitted.to_string(),
+        format!("{:.6}", p.window.miss_rate()),
+        format!("{:.6}", p.window.intervention_rate()),
+        format!("{:.6}", p.window.utilization()),
+    ]
+}
+
+/// Writes the series as JSON Lines: one flat object per sample.
+pub fn write_jsonl<W: Write>(series: &TimeSeries, mut out: W) -> io::Result<()> {
+    for point in series.points() {
+        let values = row(point);
+        out.write_all(b"{")?;
+        for (i, (name, value)) in COLUMNS.iter().zip(&values).enumerate() {
+            if i > 0 {
+                out.write_all(b",")?;
+            }
+            write!(out, "\"{name}\":{value}")?;
+        }
+        out.write_all(b"}\n")?;
+    }
+    Ok(())
+}
+
+/// Writes the series as CSV with a header row.
+pub fn write_csv<W: Write>(series: &TimeSeries, mut out: W) -> io::Result<()> {
+    writeln!(out, "{}", COLUMNS.join(","))?;
+    for point in series.points() {
+        writeln!(out, "{}", row(point).join(","))?;
+    }
+    Ok(())
+}
+
+/// The series as a JSON Lines string.
+pub fn jsonl_string(series: &TimeSeries) -> String {
+    let mut buf = Vec::new();
+    write_jsonl(series, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("exporters emit ASCII")
+}
+
+/// The series as a CSV string.
+pub fn csv_string(series: &TimeSeries) -> String {
+    let mut buf = Vec::new();
+    write_csv(series, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("exporters emit ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memories::{BoardSnapshot, FilterStats, NodeCounter, NodeCounters};
+
+    fn sample_series() -> TimeSeries {
+        let mut node = NodeCounters::new();
+        node.add(NodeCounter::ReadHits, 3);
+        node.add(NodeCounter::ReadMisses, 1);
+        let snap = BoardSnapshot {
+            filter: FilterStats {
+                seen: 10,
+                forwarded: 8,
+                ..FilterStats::default()
+            },
+            nodes: vec![node],
+            ..BoardSnapshot::default()
+        };
+        let mut series = TimeSeries::new();
+        series.record(snap);
+        series
+    }
+
+    #[test]
+    fn jsonl_is_one_flat_object_per_line() {
+        let text = jsonl_string(&sample_series());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+        assert!(lines[0].contains("\"admitted\":8"));
+        assert!(lines[0].contains("\"miss_rate\":0.250000"));
+        // Flat: exactly the declared columns, no nesting.
+        assert_eq!(lines[0].matches(':').count(), COLUMNS.len());
+    }
+
+    #[test]
+    fn csv_has_header_plus_one_row_per_sample() {
+        let text = csv_string(&sample_series());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], COLUMNS.join(","));
+        assert_eq!(lines[1].split(',').count(), COLUMNS.len());
+        assert!(lines[1].starts_with("0,"));
+    }
+
+    #[test]
+    fn empty_series_exports_cleanly() {
+        let series = TimeSeries::new();
+        assert_eq!(jsonl_string(&series), "");
+        assert_eq!(csv_string(&series).lines().count(), 1); // header only
+    }
+}

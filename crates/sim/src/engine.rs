@@ -8,11 +8,33 @@
 //! to worker threads that each own one [`NodeShard`] (a whole-domain
 //! group of node controllers — see `memories::NodeShard` for why that
 //! makes per-shard snooping exact). Workers record which transactions of
-//! each batch overflowed a node buffer as a bitmask; at [`finish`] the
-//! masks are OR-merged across shards and popcounted, giving exactly the
-//! retry count the serial board would have posted, and the shards are
-//! reassembled into a [`MemoriesBoard`] whose every counter and directory
-//! entry is **bit-identical** to a serial run of the same stream.
+//! each batch overflowed a node buffer as a bitmask; the masks are
+//! OR-merged across shards and popcounted, giving exactly the retry
+//! count the serial board would have posted, and at [`finish`] the
+//! shards are reassembled into a [`MemoriesBoard`] whose every counter
+//! and directory entry is **bit-identical** to a serial run of the same
+//! stream.
+//!
+//! # Online monitoring
+//!
+//! The board's console reads counters *while the workload runs*; the
+//! engine recovers that with **snapshot barriers**. [`sample_now`] (or
+//! automatic sampling via [`sample_every`]) flushes the partial batch and
+//! sends every worker a snapshot request over the same queue as the
+//! batches. Because each worker processes its queue in order, its reply —
+//! a copy of its node counters plus the overflow masks accumulated since
+//! the last barrier — reflects exactly the admitted stream so far, and
+//! the engine assembles the replies with the front end's own counters
+//! into a [`BoardSnapshot`] that is bit-identical to what a serial board
+//! would show at the same stream position. Overflow masks are index-
+//! aligned across workers (every worker sees the same batch sequence),
+//! so each barrier OR-merges and popcounts just the masks since the
+//! previous one: retry accounting stays exact *and* incremental, and no
+//! engine-side structure grows with trace length.
+//!
+//! Barriers change where batches end (the partial batch is flushed), but
+//! results are batch-size-invariant, so a monitored run's final board is
+//! still bit-identical to an unmonitored one.
 //!
 //! The engine consumes an already-recorded transaction stream (replay,
 //! synthetic generators, capture files). It cannot feed retries back into
@@ -21,13 +43,18 @@
 //! retries (§3.3); the count is still exact.
 //!
 //! [`finish`]: EmulationEngine::finish
+//! [`sample_now`]: EmulationEngine::sample_now
+//! [`sample_every`]: EmulationEngine::sample_every
 
-use std::sync::mpsc::{sync_channel, SyncSender};
+use std::fmt;
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use memories::{BoardFrontEnd, Error, MemoriesBoard, NodeShard};
+use memories::{BoardFrontEnd, BoardSnapshot, Error, MemoriesBoard, NodeCounters, NodeShard};
 use memories_bus::Transaction;
+use memories_obs::{EngineTelemetry, ShardTelemetry, TimeSeries};
 
 /// How the engine drives the node controllers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -82,6 +109,16 @@ impl EngineConfig {
     }
 }
 
+/// Everything a monitored run produced besides the board itself.
+#[derive(Clone, Debug, Default)]
+pub struct MonitorReport {
+    /// Counter samples taken at each barrier (empty if sampling was never
+    /// enabled and [`EmulationEngine::sample_now`] never called).
+    pub series: TimeSeries,
+    /// The engine's own performance counters.
+    pub telemetry: EngineTelemetry,
+}
+
 /// Per-batch overflow bitmask: bit `i` set means batch transaction `i`
 /// overflowed some node buffer in the reporting shard.
 type OverflowMask = Vec<u64>;
@@ -90,9 +127,53 @@ fn mask_for(len: usize) -> OverflowMask {
     vec![0u64; len.div_ceil(64)]
 }
 
+/// Two shards reported overflow-mask lists of different lengths at a
+/// merge point — the workers disagreed about how many batches they saw,
+/// which means retry accounting can no longer be trusted.
+#[derive(Debug)]
+struct MaskMismatch {
+    expected: usize,
+    got: usize,
+}
+
+impl fmt::Display for MaskMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard overflow-mask lists diverged: expected {} batches, a shard reported {}",
+            self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for MaskMismatch {}
+
+/// What a worker sends back at a snapshot barrier.
+struct ShardReport {
+    /// `(global node id, counters)` for every node the shard owns.
+    nodes: Vec<(u8, NodeCounters)>,
+    /// Overflow masks for the batches since the previous barrier.
+    masks: Vec<OverflowMask>,
+}
+
+/// What a worker returns when its queue closes.
+struct WorkerDone {
+    shard: NodeShard,
+    /// Overflow masks for the batches since the last barrier.
+    masks: Vec<OverflowMask>,
+    snooped: u64,
+    busy: Duration,
+}
+
+enum Request {
+    Batch(Arc<Vec<Transaction>>),
+    Snapshot(SyncSender<ShardReport>),
+}
+
 struct Worker {
-    sender: SyncSender<Arc<Vec<Transaction>>>,
-    handle: JoinHandle<(NodeShard, Vec<OverflowMask>)>,
+    sender: SyncSender<Request>,
+    handle: JoinHandle<WorkerDone>,
+    nodes: usize,
 }
 
 enum Inner {
@@ -103,6 +184,7 @@ enum Inner {
         front: BoardFrontEnd,
         batch: Vec<Transaction>,
         batch_capacity: usize,
+        node_count: usize,
         workers: Vec<Worker>,
     },
 }
@@ -110,8 +192,10 @@ enum Inner {
 /// A running emulation over one transaction stream.
 ///
 /// Feed transactions in stream order with [`EmulationEngine::feed`], then
-/// call [`EmulationEngine::finish`] to get the final board back. The
-/// result is bit-identical across modes and shard counts.
+/// call [`EmulationEngine::finish`] (or
+/// [`EmulationEngine::finish_monitored`] to also collect the sample
+/// series and telemetry) to get the final board back. The result is
+/// bit-identical across modes, shard counts, and sampling settings.
 ///
 /// # Examples
 ///
@@ -127,18 +211,31 @@ enum Inner {
 ///     vec![params, params], (0..8).map(ProcId::new).collect())?;
 /// let mut engine = EmulationEngine::new(
 ///     MemoriesBoard::new(config)?, EngineConfig::parallel(2));
+/// engine.sample_every(250); // live counter sample per 250 admitted txns
 /// for i in 0..1000u64 {
 ///     engine.feed(&Transaction::new(
 ///         i, i * 60, ProcId::new((i % 8) as u8), BusOp::Read,
 ///         Address::new((i % 64) * 128), SnoopResponse::Null));
 /// }
-/// let board = engine.finish()?;
+/// let (board, report) = engine.finish_monitored()?;
 /// assert_eq!(board.global().transactions(), 1000);
+/// assert!(report.series.len() >= 3);
 /// # Ok(())
 /// # }
 /// ```
 pub struct EmulationEngine {
     inner: Inner,
+    /// Admitted-transaction sampling period, if enabled.
+    sample_period: Option<u64>,
+    /// Next admitted count at which to auto-sample.
+    next_sample_at: u64,
+    series: TimeSeries,
+    /// First error hit inside `feed` auto-sampling (surfaced at finish).
+    deferred: Option<Error>,
+    started: Instant,
+    batches: u64,
+    producer_stalls: u64,
+    snapshots: u64,
 }
 
 impl EmulationEngine {
@@ -150,17 +247,29 @@ impl EmulationEngine {
         let inner = match config.mode {
             EngineMode::Serial => Inner::Serial { board },
             EngineMode::Parallel { shards } => {
+                let node_count = board.node_count();
                 let (front, shard_vec) = board.split(shards);
                 let workers = shard_vec.into_iter().map(spawn_worker).collect();
                 Inner::Parallel {
                     front,
                     batch: Vec::with_capacity(config.batch),
                     batch_capacity: config.batch.max(1),
+                    node_count,
                     workers,
                 }
             }
         };
-        EmulationEngine { inner }
+        EmulationEngine {
+            inner,
+            sample_period: None,
+            next_sample_at: 0,
+            series: TimeSeries::new(),
+            deferred: None,
+            started: Instant::now(),
+            batches: 0,
+            producer_stalls: 0,
+            snapshots: 0,
+        }
     }
 
     /// Number of independent snoop units (1 in serial mode).
@@ -168,6 +277,35 @@ impl EmulationEngine {
         match &self.inner {
             Inner::Serial { .. } => 1,
             Inner::Parallel { workers, .. } => workers.len(),
+        }
+    }
+
+    /// Enables automatic sampling: every `period` admitted transactions
+    /// the engine takes a [`BoardSnapshot`] (a snapshot barrier, in
+    /// parallel mode) and appends it to the series returned by
+    /// [`EmulationEngine::finish_monitored`]. A `period` of 0 is treated
+    /// as 1. Counting starts from the current admitted count.
+    pub fn sample_every(&mut self, period: u64) {
+        let period = period.max(1);
+        self.sample_period = Some(period);
+        self.next_sample_at = self.admitted() + period;
+    }
+
+    /// Disables automatic sampling (already-collected samples are kept).
+    pub fn sample_off(&mut self) {
+        self.sample_period = None;
+    }
+
+    /// Samples collected so far.
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// Transactions the filter has admitted so far.
+    pub fn admitted(&self) -> u64 {
+        match &self.inner {
+            Inner::Serial { board } => board.filter().stats().forwarded,
+            Inner::Parallel { front, .. } => front.filter().stats().forwarded,
         }
     }
 
@@ -183,6 +321,7 @@ impl EmulationEngine {
                 batch,
                 batch_capacity,
                 workers,
+                ..
             } => {
                 if !front.observe(txn) {
                     return;
@@ -193,8 +332,24 @@ impl EmulationEngine {
                         batch,
                         Vec::with_capacity(*batch_capacity),
                     ));
-                    broadcast(workers, full);
+                    self.batches += 1;
+                    self.producer_stalls += broadcast(workers, full);
                 }
+            }
+        }
+        if let Some(period) = self.sample_period {
+            if self.admitted() >= self.next_sample_at {
+                // `feed` cannot return an error; park it for finish.
+                match self.take_snapshot() {
+                    Ok(snap) => {
+                        self.series.record(snap);
+                    }
+                    Err(e) => {
+                        self.deferred.get_or_insert(e);
+                        self.sample_period = None; // don't repeat the failure
+                    }
+                }
+                self.next_sample_at = self.admitted() + period;
             }
         }
     }
@@ -206,113 +361,312 @@ impl EmulationEngine {
         }
     }
 
+    /// Takes a counter snapshot of the emulation *right now*, recording
+    /// it into the series as well. In parallel mode this is a snapshot
+    /// barrier: the partial batch is flushed and every worker reports its
+    /// counters and overflow masks, so the result is bit-identical to
+    /// what a serial board would show at the same stream position.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if shard overflow-mask lists diverge (retry
+    /// accounting would be wrong — does not happen for healthy workers).
+    ///
+    /// # Panics
+    ///
+    /// Propagates a worker thread's panic.
+    pub fn sample_now(&mut self) -> Result<BoardSnapshot, Error> {
+        let snap = self.take_snapshot()?;
+        self.series.record(snap.clone());
+        Ok(snap)
+    }
+
+    /// The snapshot barrier itself (no series recording).
+    fn take_snapshot(&mut self) -> Result<BoardSnapshot, Error> {
+        self.snapshots += 1;
+        match &mut self.inner {
+            Inner::Serial { board } => Ok(board.snapshot()),
+            Inner::Parallel {
+                front,
+                batch,
+                batch_capacity,
+                node_count,
+                workers,
+            } => {
+                // Flush the partial batch so workers have seen the whole
+                // admitted stream before they reply.
+                if !batch.is_empty() {
+                    let tail = Arc::new(std::mem::replace(
+                        batch,
+                        Vec::with_capacity(*batch_capacity),
+                    ));
+                    self.batches += 1;
+                    self.producer_stalls += broadcast(workers, tail);
+                }
+                let (reply, reports) = sync_channel::<ShardReport>(workers.len());
+                for w in workers.iter() {
+                    if w.sender.send(Request::Snapshot(reply.clone())).is_err() {
+                        propagate_worker_failure(std::mem::take(workers));
+                    }
+                }
+                drop(reply);
+                let mut parts = Vec::with_capacity(*node_count);
+                let mut mask_lists = Vec::with_capacity(workers.len());
+                for _ in 0..workers.len() {
+                    match reports.recv() {
+                        Ok(report) => {
+                            parts.extend(report.nodes);
+                            mask_lists.push(report.masks);
+                        }
+                        Err(_) => propagate_worker_failure(std::mem::take(workers)),
+                    }
+                }
+                // Masks since the last barrier are index-aligned across
+                // workers; merge just those and fold the overflows into
+                // the retry account incrementally.
+                front.record_overflows(or_and_count(mask_lists)?);
+                Ok(BoardSnapshot::assemble(
+                    front.global().clone(),
+                    *front.filter().stats(),
+                    front.retries_posted(),
+                    *node_count,
+                    parts,
+                ))
+            }
+        }
+    }
+
     /// Flushes outstanding batches, joins the workers, merges their
     /// overflow masks, and reassembles the board.
     ///
     /// # Errors
     ///
     /// Returns [`Error::Board`] if shard reassembly fails (cannot happen
-    /// for shards produced by this engine).
+    /// for shards produced by this engine), or an error if shard
+    /// overflow-mask lists diverged at a merge point.
     ///
     /// # Panics
     ///
     /// Propagates a worker thread's panic.
     pub fn finish(self) -> Result<MemoriesBoard, Error> {
-        match self.inner {
-            Inner::Serial { board } => Ok(board),
+        self.finish_monitored().map(|(board, _)| board)
+    }
+
+    /// Like [`EmulationEngine::finish`], but also returns the sample
+    /// series and the engine's own telemetry.
+    pub fn finish_monitored(self) -> Result<(MemoriesBoard, MonitorReport), Error> {
+        if let Some(e) = self.deferred {
+            return Err(e);
+        }
+        let mut telemetry = EngineTelemetry {
+            batches: self.batches,
+            queue_capacity: QUEUE_CAPACITY,
+            producer_stalls: self.producer_stalls,
+            snapshots: self.snapshots,
+            ..EngineTelemetry::default()
+        };
+        let board = match self.inner {
+            Inner::Serial { board } => {
+                telemetry.seen = board.filter().stats().seen;
+                telemetry.admitted = board.filter().stats().forwarded;
+                board
+            }
             Inner::Parallel {
                 mut front,
                 batch,
+                batch_capacity,
                 workers,
                 ..
             } => {
+                telemetry.batch_capacity = batch_capacity;
                 let mut senders = Vec::with_capacity(workers.len());
                 let mut handles = Vec::with_capacity(workers.len());
+                let mut node_counts = Vec::with_capacity(workers.len());
                 for w in workers {
                     senders.push(w.sender);
                     handles.push(w.handle);
+                    node_counts.push(w.nodes);
                 }
                 if !batch.is_empty() {
                     let last = Arc::new(batch);
+                    telemetry.batches += 1;
                     for sender in &senders {
-                        sender
-                            .send(Arc::clone(&last))
-                            .expect("worker hung up before finish");
+                        if sender.send(Request::Batch(Arc::clone(&last))).is_err() {
+                            join_and_unwind(handles);
+                        }
                     }
                 }
                 drop(senders); // Closes the channels; workers drain and exit.
 
                 let mut shards = Vec::with_capacity(handles.len());
-                let mut merged: Vec<OverflowMask> = Vec::new();
-                for handle in handles {
-                    let (shard, masks) = handle
+                let mut mask_lists = Vec::with_capacity(handles.len());
+                for (i, handle) in handles.into_iter().enumerate() {
+                    let done = handle
                         .join()
                         .unwrap_or_else(|p| std::panic::resume_unwind(p));
-                    shards.push(shard);
-                    if merged.is_empty() {
-                        merged = masks;
-                    } else {
-                        debug_assert_eq!(merged.len(), masks.len());
-                        for (acc, m) in merged.iter_mut().zip(&masks) {
-                            for (a, b) in acc.iter_mut().zip(m) {
-                                *a |= *b;
-                            }
-                        }
-                    }
+                    telemetry.shards.push(ShardTelemetry {
+                        shard: i,
+                        nodes: node_counts[i],
+                        snooped: done.snooped,
+                        busy: done.busy,
+                    });
+                    shards.push(done.shard);
+                    mask_lists.push(done.masks);
                 }
                 // One retry per admitted transaction that overflowed in
                 // any shard — exactly the serial board's accounting.
-                let overflows: u64 = merged
-                    .iter()
-                    .flat_map(|m| m.iter())
-                    .map(|w| u64::from(w.count_ones()))
-                    .sum();
-                front.record_overflows(overflows);
-                Ok(MemoriesBoard::assemble(front, shards)?)
+                // (Masks before the last barrier were already folded in.)
+                front.record_overflows(or_and_count(mask_lists)?);
+                telemetry.seen = front.filter().stats().seen;
+                telemetry.admitted = front.filter().stats().forwarded;
+                MemoriesBoard::assemble(front, shards)?
             }
-        }
+        };
+        telemetry.wall = self.started.elapsed();
+        Ok((
+            board,
+            MonitorReport {
+                series: self.series,
+                telemetry,
+            },
+        ))
     }
 }
 
-impl std::fmt::Debug for EmulationEngine {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl fmt::Debug for EmulationEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.inner {
             Inner::Serial { .. } => f.debug_struct("EmulationEngine(serial)").finish(),
             Inner::Parallel { workers, batch, .. } => f
                 .debug_struct("EmulationEngine(parallel)")
                 .field("shards", &workers.len())
                 .field("pending", &batch.len())
+                .field("samples", &self.series.len())
                 .finish(),
         }
     }
 }
 
-fn broadcast(workers: &[Worker], batch: Arc<Vec<Transaction>>) {
-    for w in workers {
-        w.sender
-            .send(Arc::clone(&batch))
-            .expect("worker hung up mid-run");
+/// Batch-queue slots per worker: a couple of batches of backpressure
+/// keeps the producer and workers overlapped without unbounded queueing.
+const QUEUE_CAPACITY: usize = 4;
+
+/// OR-merges the per-worker overflow-mask lists (which must be
+/// index-aligned: every worker sees the same batch sequence) and counts
+/// the set bits — the number of admitted transactions that overflowed in
+/// at least one shard.
+fn or_and_count(mask_lists: Vec<Vec<OverflowMask>>) -> Result<u64, Error> {
+    let mut lists = mask_lists.into_iter();
+    let mut merged = lists.next().unwrap_or_default();
+    for masks in lists {
+        if masks.len() != merged.len() {
+            return Err(Error::other(MaskMismatch {
+                expected: merged.len(),
+                got: masks.len(),
+            }));
+        }
+        for (acc, m) in merged.iter_mut().zip(&masks) {
+            debug_assert_eq!(acc.len(), m.len());
+            for (a, b) in acc.iter_mut().zip(m) {
+                *a |= *b;
+            }
+        }
+    }
+    Ok(merged
+        .iter()
+        .flat_map(|m| m.iter())
+        .map(|w| u64::from(w.count_ones()))
+        .sum())
+}
+
+/// Sends `batch` to every worker, counting backpressure stalls. If a
+/// worker has hung up (its thread died), joins all workers to surface the
+/// panic instead of poisoning the stream silently.
+fn broadcast(workers: &mut Vec<Worker>, batch: Arc<Vec<Transaction>>) -> u64 {
+    let mut stalls = 0;
+    for i in 0..workers.len() {
+        match workers[i]
+            .sender
+            .try_send(Request::Batch(Arc::clone(&batch)))
+        {
+            Ok(()) => {}
+            Err(TrySendError::Full(req)) => {
+                stalls += 1;
+                if workers[i].sender.send(req).is_err() {
+                    propagate_worker_failure(std::mem::take(workers));
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                propagate_worker_failure(std::mem::take(workers));
+            }
+        }
+    }
+    stalls
+}
+
+/// A worker hung up mid-run: join everyone and re-raise the panic that
+/// killed it (a worker never exits on its own while senders are live).
+fn propagate_worker_failure(workers: Vec<Worker>) -> ! {
+    join_and_unwind(workers.into_iter().map(|w| w.handle).collect())
+}
+
+fn join_and_unwind(handles: Vec<JoinHandle<WorkerDone>>) -> ! {
+    let mut first_panic = None;
+    for handle in handles {
+        if let Err(p) = handle.join() {
+            first_panic.get_or_insert(p);
+        }
+    }
+    match first_panic {
+        Some(p) => std::panic::resume_unwind(p),
+        None => unreachable!("a worker hung up without panicking"),
     }
 }
 
 fn spawn_worker(mut shard: NodeShard) -> Worker {
-    // A couple of batches of backpressure keeps the producer and workers
-    // overlapped without unbounded queueing.
-    let (sender, receiver) = sync_channel::<Arc<Vec<Transaction>>>(4);
+    let nodes = shard.len();
+    let (sender, receiver) = sync_channel::<Request>(QUEUE_CAPACITY);
     let handle = std::thread::spawn(move || {
+        // Masks since the last snapshot barrier (drained at each one).
         let mut masks: Vec<OverflowMask> = Vec::new();
-        while let Ok(batch) = receiver.recv() {
-            let mut mask = mask_for(batch.len());
-            for (i, txn) in batch.iter().enumerate() {
-                if shard.snoop(txn) {
-                    mask[i / 64] |= 1u64 << (i % 64);
+        let mut snooped: u64 = 0;
+        let mut busy = Duration::ZERO;
+        while let Ok(request) = receiver.recv() {
+            match request {
+                Request::Batch(batch) => {
+                    let t0 = Instant::now();
+                    let mut mask = mask_for(batch.len());
+                    for (i, txn) in batch.iter().enumerate() {
+                        if shard.snoop(txn) {
+                            mask[i / 64] |= 1u64 << (i % 64);
+                        }
+                    }
+                    busy += t0.elapsed();
+                    snooped += batch.len() as u64;
+                    masks.push(mask);
+                }
+                Request::Snapshot(reply) => {
+                    // If the engine dropped the reply receiver it is
+                    // already unwinding; keep draining until close.
+                    let _ = reply.send(ShardReport {
+                        nodes: shard.counters_snapshot(),
+                        masks: std::mem::take(&mut masks),
+                    });
                 }
             }
-            masks.push(mask);
         }
-        (shard, masks)
+        WorkerDone {
+            shard,
+            masks,
+            snooped,
+            busy,
+        }
     });
-    Worker { sender, handle }
+    Worker {
+        sender,
+        handle,
+        nodes,
+    }
 }
 
 #[cfg(test)]
@@ -429,5 +783,187 @@ mod tests {
         assert_eq!(engine.shard_count(), 1);
         // Workers must still shut down cleanly with no traffic.
         engine.finish().unwrap();
+    }
+
+    #[test]
+    fn monitored_run_is_bit_identical_and_samples_live() {
+        let cfg = four_domain_config();
+        let txns = stream(20_000, 60);
+        let plain = run(&cfg, EngineConfig::serial(), &txns);
+
+        for engine_cfg in [EngineConfig::serial(), EngineConfig::parallel(4)] {
+            let mut engine =
+                EmulationEngine::new(MemoriesBoard::new(cfg.clone()).unwrap(), engine_cfg);
+            engine.sample_every(1000);
+            engine.feed_all(&txns);
+            let (board, report) = engine.finish_monitored().unwrap();
+            assert_boards_identical(&plain, &board);
+            assert!(report.series.len() >= 10, "expected ≥10 samples");
+            // Samples are monotone in admitted count and end at the total.
+            let pts = report.series.points();
+            for pair in pts.windows(2) {
+                assert!(pair[0].cumulative.admitted < pair[1].cumulative.admitted);
+            }
+            let final_admitted = board.filter().stats().forwarded;
+            assert!(pts.last().unwrap().cumulative.admitted <= final_admitted);
+            assert_eq!(report.telemetry.admitted, final_admitted);
+            assert_eq!(report.telemetry.seen, 20_000);
+        }
+    }
+
+    #[test]
+    fn mid_run_snapshot_matches_serial_board_at_same_position() {
+        // Run a serial reference over the first half only; the parallel
+        // engine's barrier snapshot at that point must agree exactly.
+        let cfg = four_domain_config();
+        let txns = stream(10_000, 60);
+        let half = &txns[..5_000];
+
+        let mut reference = MemoriesBoard::new(cfg.clone()).unwrap();
+        {
+            use memories_bus::BusListener as _;
+            for t in half {
+                reference.on_transaction(t);
+            }
+        }
+        let want = reference.snapshot();
+
+        let mut engine = EmulationEngine::new(
+            MemoriesBoard::new(cfg).unwrap(),
+            EngineConfig::parallel(4).with_batch(512),
+        );
+        engine.feed_all(half);
+        let got = engine.sample_now().unwrap();
+
+        assert_eq!(got.filter, want.filter);
+        assert_eq!(got.retries_posted, want.retries_posted);
+        assert_eq!(got.global.transactions(), want.global.transactions());
+        assert_eq!(got.nodes, want.nodes);
+        // The engine still finishes exactly after an explicit sample.
+        engine.feed_all(&txns[5_000..]);
+        let board = engine.finish().unwrap();
+        assert_eq!(board.global().transactions(), 10_000);
+    }
+
+    #[test]
+    fn snapshot_barrier_keeps_retry_accounting_exact() {
+        // Overflow pressure plus frequent barriers: incremental mask
+        // merging at each barrier must sum to the serial retry count.
+        let mut cfg = four_domain_config();
+        cfg.timing = TimingConfig {
+            buffer_capacity: 4,
+            ..TimingConfig::default()
+        };
+        let txns = stream(5_000, 0);
+        let serial = run(&cfg, EngineConfig::serial(), &txns);
+        assert!(serial.retries_posted() > 0);
+
+        let mut engine = EmulationEngine::new(
+            MemoriesBoard::new(cfg).unwrap(),
+            EngineConfig::parallel(4).with_batch(128),
+        );
+        engine.sample_every(700);
+        engine.feed_all(&txns);
+        let (board, report) = engine.finish_monitored().unwrap();
+        assert_boards_identical(&serial, &board);
+        // Retries in the series never decrease and end at the total.
+        let pts = report.series.points();
+        for pair in pts.windows(2) {
+            assert!(pair[0].cumulative.retries <= pair[1].cumulative.retries);
+        }
+        assert!(pts.last().unwrap().cumulative.retries <= board.retries_posted());
+    }
+
+    /// A Worker whose thread dies with `message` instead of serving its
+    /// queue — for exercising the failure paths deterministically.
+    fn dead_worker(message: &'static str) -> Worker {
+        let (sender, receiver) = sync_channel::<Request>(QUEUE_CAPACITY);
+        let handle = std::thread::spawn(move || -> WorkerDone {
+            drop(receiver);
+            panic!("{message}");
+        });
+        while !handle.is_finished() {
+            std::thread::yield_now();
+        }
+        Worker {
+            sender,
+            handle,
+            nodes: 1,
+        }
+    }
+
+    #[test]
+    fn broadcast_propagates_worker_panic() {
+        // A send to a dead worker must join it and re-raise the original
+        // panic payload instead of panicking on the channel error.
+        let mut workers = vec![dead_worker("snoop worker exploded")];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            broadcast(&mut workers, Arc::new(Vec::new()));
+        }));
+        let payload = result.expect_err("worker panic must propagate");
+        let text = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert_eq!(text, "snoop worker exploded");
+    }
+
+    #[test]
+    fn snapshot_barrier_propagates_worker_panic() {
+        // The snapshot request path hits the same failure mode.
+        let workers = vec![dead_worker("barrier victim")];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let (reply, _reports) = sync_channel::<ShardReport>(1);
+            let mut workers = workers;
+            if workers[0].sender.send(Request::Snapshot(reply)).is_err() {
+                propagate_worker_failure(std::mem::take(&mut workers));
+            }
+            unreachable!("send to a dead worker must fail");
+        }));
+        let payload = result.expect_err("worker panic must propagate");
+        let text = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert_eq!(text, "barrier victim");
+    }
+
+    #[test]
+    fn mask_length_mismatch_is_a_real_error() {
+        // Diverged mask lists must surface as an Error (the old
+        // debug_assert vanished in release builds).
+        let lists = vec![vec![mask_for(64), mask_for(64)], vec![mask_for(64)]];
+        let err = or_and_count(lists).expect_err("mismatch must error");
+        assert!(err.to_string().contains("diverged"), "got: {err}");
+        // Aligned lists still count exactly.
+        let mut a = mask_for(64);
+        a[0] = 0b1011;
+        let mut b = mask_for(64);
+        b[0] = 0b0110;
+        assert_eq!(or_and_count(vec![vec![a], vec![b]]).unwrap(), 4);
+    }
+
+    #[test]
+    fn telemetry_counts_batches_and_shards() {
+        let cfg = four_domain_config();
+        let txns = stream(4_000, 60);
+        let mut engine = EmulationEngine::new(
+            MemoriesBoard::new(cfg).unwrap(),
+            EngineConfig::parallel(4).with_batch(100),
+        );
+        engine.feed_all(&txns);
+        let (board, report) = engine.finish_monitored().unwrap();
+        let admitted = board.filter().stats().forwarded;
+        let t = &report.telemetry;
+        assert_eq!(t.admitted, admitted);
+        assert_eq!(t.batches, admitted.div_ceil(100));
+        assert_eq!(t.batch_capacity, 100);
+        assert_eq!(t.shards.len(), 4);
+        for s in &t.shards {
+            assert_eq!(s.snooped, admitted);
+        }
+        assert!(t.wall > Duration::ZERO);
     }
 }

@@ -22,7 +22,10 @@
 //! [`EmulationEngine`] is the sharded replay engine: it fans one
 //! transaction stream out to worker threads that each snoop a
 //! whole-domain group of node controllers, producing a board
-//! bit-identical to a serial run.
+//! bit-identical to a serial run. Monitored runs additionally take
+//! snapshot barriers every N admitted transactions and return a
+//! [`MonitorReport`] (live counter series + engine telemetry, both from
+//! `memories-obs`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +40,6 @@ mod timing;
 pub use augmint::AugmintModel;
 pub use compare::{compare_counts, CompareReport};
 pub use csim::{CacheSim, SimCounts};
-pub use engine::{EmulationEngine, EngineConfig, EngineMode};
+pub use engine::{EmulationEngine, EngineConfig, EngineMode, MonitorReport};
 pub use multinode::MultiNodeSim;
 pub use timing::{CSimTimeModel, HostTimeModel};

@@ -24,10 +24,14 @@ impl Window {
     }
 
     /// A window of `len` records starting at `start`.
+    ///
+    /// The end index saturates at `u64::MAX`, so a window near the top of
+    /// the index space clips to `[start, u64::MAX)` instead of wrapping
+    /// around to an empty (or worse, inverted) range in release builds.
     pub const fn at(start: u64, len: u64) -> Self {
         Window {
             start,
-            end: start + len,
+            end: start.saturating_add(len),
         }
     }
 
@@ -174,6 +178,19 @@ mod tests {
         assert!(!Window::at(3, 0).contains(3));
         assert!(Window::at(3, 0).is_empty());
         assert_eq!(Window::at(10, 4).len(), 4);
+    }
+
+    #[test]
+    fn window_at_saturates_near_u64_max() {
+        // Overflowing start + len clips to the top of the index space
+        // instead of wrapping (which would make the window empty — or
+        // panic in debug builds).
+        let w = Window::at(u64::MAX - 1, 10);
+        assert_eq!(w.end, u64::MAX);
+        assert_eq!(w.len(), 1);
+        assert!(w.contains(u64::MAX - 1));
+        assert!(!w.contains(u64::MAX));
+        assert!(!w.is_empty());
     }
 
     #[test]

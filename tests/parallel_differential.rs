@@ -11,10 +11,11 @@
 //!   equal the serially observed totals — the merge is a commutative
 //!   monoid over disjoint sub-streams.
 
-use memories::{CacheParams, GlobalCounters};
+use memories::{CacheParams, Counter40, GlobalCounters};
 use memories_bus::{Address, BusOp, ProcId, SnoopResponse, Transaction};
-use memories_console::{EmulationSession, ExperimentResult};
+use memories_console::{EmulationSession, ExperimentResult, MonitoredRun};
 use memories_host::HostConfig;
+use memories_obs::export;
 use memories_workloads::splash::Fmm;
 use memories_workloads::{DssConfig, DssWorkload, OltpConfig, OltpWorkload, Workload};
 use proptest::prelude::*;
@@ -127,6 +128,114 @@ fn splash2_traffic_is_bit_identical_across_shard_counts() {
     assert_shards_match_serial("splash2-fmm", &*make, 30_000);
 }
 
+fn oltp() -> Box<dyn Fn() -> Box<dyn Workload>> {
+    Box::new(|| {
+        Box::new(OltpWorkload::new(OltpConfig {
+            journal: None,
+            ..OltpConfig::scaled_default()
+        }))
+    })
+}
+
+fn run_monitored(
+    make: &dyn Fn() -> Box<dyn Workload>,
+    shards: usize,
+    refs: u64,
+    sample_every: Option<u64>,
+) -> MonitoredRun {
+    let mut builder = EmulationSession::builder()
+        .host(host())
+        .board(board())
+        .parallelism(shards)
+        .batch(512);
+    if let Some(period) = sample_every {
+        builder = builder.sample_every(period);
+    }
+    let session = builder.build().unwrap();
+    let mut workload = make();
+    session.run_monitored(&mut *workload, refs).unwrap()
+}
+
+#[test]
+fn run_monitored_without_sampling_is_bit_identical_to_run() {
+    let make = oltp();
+    let serial = run(&*make, 1, 30_000);
+    for shards in [1usize, 2, 4, 8] {
+        let monitored = run_monitored(&*make, shards, 30_000, None);
+        assert_eq!(
+            serial.board.statistics_report(),
+            monitored.result.board.statistics_report(),
+            "{shards}-shard monitored run diverged from plain serial run"
+        );
+        assert_eq!(serial.retries_posted, monitored.result.retries_posted);
+        assert!(monitored.series.is_empty(), "no sampling was requested");
+    }
+}
+
+#[test]
+fn sampling_leaves_final_counters_unchanged_and_exports_jsonl() {
+    // The acceptance setup: OLTP monitored at a 4096-admitted-transaction
+    // sampling period must end with exactly the counters of an
+    // unmonitored run, and its JSONL series must show the cumulative
+    // miss rate settling as the trace grows (the paper's Case Study 1
+    // argument, §5.1, as a live time series).
+    let make = oltp();
+    let refs = 120_000;
+    let serial = run(&*make, 1, refs);
+    let monitored = run_monitored(&*make, 4, refs, Some(4096));
+
+    assert_eq!(
+        serial.board.statistics_report(),
+        monitored.result.board.statistics_report(),
+        "sampling barriers must not change final counters"
+    );
+    let points = monitored.series.points();
+    assert!(
+        points.len() >= 2,
+        "need at least two windows, got {}",
+        points.len()
+    );
+
+    // Export: one JSON object per sample, carrying the series columns.
+    let text = export::jsonl_string(&monitored.series);
+    assert_eq!(text.lines().count(), points.len());
+    for line in text.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        for column in ["\"admitted\":", "\"miss_rate\":", "\"window_miss_rate\":"] {
+            assert!(line.contains(column), "missing {column} in {line}");
+        }
+    }
+    let csv = export::csv_string(&monitored.series);
+    assert_eq!(csv.lines().count(), points.len() + 1);
+
+    // Convergence: the cumulative miss rate moves less between the last
+    // two samples than between the first two (cold misses dominate early
+    // windows; the estimate settles with trace length).
+    let first_step = (points[1].cumulative.miss_rate() - points[0].cumulative.miss_rate()).abs();
+    let last = points.len() - 1;
+    let last_step =
+        (points[last].cumulative.miss_rate() - points[last - 1].cumulative.miss_rate()).abs();
+    assert!(
+        last_step <= first_step || last_step < 0.01,
+        "cumulative miss rate is not converging: first step {first_step}, last step {last_step}"
+    );
+}
+
+#[test]
+fn counter40_saturation_survives_exact_max_merge() {
+    // Regression: a saturated shard part whose clamped value makes the
+    // merged sum land exactly on Counter40::MAX used to lose the
+    // `saturated` flag (the merge re-added values and checked `> MAX`).
+    let mut total = Counter40::of(Counter40::MAX + 5); // clamped, flagged
+    assert!(total.saturated());
+    total.merge(Counter40::of(0));
+    assert_eq!(total.value(), Counter40::MAX);
+    assert!(
+        total.saturated(),
+        "merge must carry the part's saturation flag"
+    );
+}
+
 fn arb_transaction() -> impl Strategy<Value = (u8, u8, u64, u64)> {
     (
         0u8..BusOp::ALL.len() as u8,
@@ -187,5 +296,30 @@ proptest! {
             merged.observed_span_cycles(),
             serial.observed_span_cycles()
         );
+    }
+
+    /// The 40-bit counters' saturation flag survives any sharded merge:
+    /// folding per-shard parts (some possibly saturated) in any grouping
+    /// reports `saturated` exactly when serially accumulating every
+    /// contribution would — including the sum-lands-exactly-on-MAX edge.
+    #[test]
+    fn counter40_saturation_survives_parallel_merge(
+        parts in prop::collection::vec(0u64..Counter40::MAX + 1000, 1..8),
+    ) {
+        // Serial reference: one counter absorbing every contribution.
+        let mut serial = Counter40::new();
+        for &p in &parts {
+            serial.add(p);
+        }
+
+        // Parallel path: per-shard counters merged pairwise, as the
+        // engine does with per-shard GlobalCounters banks at finish.
+        let mut merged = Counter40::new();
+        for &p in &parts {
+            merged.merge(Counter40::of(p));
+        }
+
+        prop_assert_eq!(merged.value(), serial.value());
+        prop_assert_eq!(merged.saturated(), serial.saturated());
     }
 }
