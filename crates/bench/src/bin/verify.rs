@@ -1,0 +1,221 @@
+//! `verify`: the verification driver CI runs.
+//!
+//! ```text
+//! verify [--check-only] [--iters N] [--seconds N] [--seed N]
+//!        [--corpus DIR] [--out-dir DIR] [--refresh-corpus]
+//! ```
+//!
+//! Phase 1 model-checks every builtin protocol table. Phase 2 (unless
+//! `--check-only`) differentially fuzzes two board topologies — a
+//! single-node MESI board with the `CacheSim` oracle attached, and a
+//! four-node mixed-protocol board across three coherence domains —
+//! replaying the committed corpus under `--corpus DIR/{single,multi}`
+//! first. Exits nonzero on any violation or divergence; shrunk
+//! counterexamples are written under `--out-dir`.
+//!
+//! `--refresh-corpus` additionally writes coverage-adding streams back
+//! into the corpus directories (used to regenerate the committed corpus;
+//! routine CI runs leave the corpus read-only so runs stay
+//! deterministic).
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use memories::CacheParams;
+use memories_bus::ProcId;
+use memories_protocol::standard;
+use memories_verify::{check_table, DifferentialFuzzer, FuzzConfig, NodeSlotSpec};
+
+struct Options {
+    check_only: bool,
+    iters: usize,
+    seconds: Option<u64>,
+    seed: u64,
+    corpus: Option<PathBuf>,
+    out_dir: Option<PathBuf>,
+    refresh_corpus: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: verify [--check-only] [--iters N] [--seconds N] [--seed N]\n\
+     \x20             [--corpus DIR] [--out-dir DIR] [--refresh-corpus]"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        check_only: false,
+        iters: 100,
+        seconds: None,
+        seed: 0x4d49_4553,
+        corpus: None,
+        out_dir: None,
+        refresh_corpus: false,
+    };
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--check-only" => opts.check_only = true,
+            "--refresh-corpus" => opts.refresh_corpus = true,
+            "--iters" => {
+                opts.iters = value("--iters")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?
+            }
+            "--seconds" => {
+                opts.seconds = Some(
+                    value("--seconds")?
+                        .parse()
+                        .map_err(|e| format!("--seconds: {e}"))?,
+                )
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--corpus" => opts.corpus = Some(PathBuf::from(value("--corpus")?)),
+            "--out-dir" => opts.out_dir = Some(PathBuf::from(value("--out-dir")?)),
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn params() -> CacheParams {
+    CacheParams::builder()
+        .capacity(16 << 10)
+        .ways(2)
+        .line_size(128)
+        .allow_scaled_down()
+        .build()
+        .expect("fuzz cache parameters are valid")
+}
+
+/// Single-node MESI topology: every generated requester is local, so the
+/// trace-driven `CacheSim` oracle participates in the differential.
+fn single_topology() -> Vec<NodeSlotSpec> {
+    vec![(
+        params(),
+        standard::mesi(),
+        0,
+        (0..8).map(ProcId::new).collect(),
+    )]
+}
+
+/// Four-node mixed topology: a two-node MESI domain (cross-node sharing,
+/// interventions, remote invalidations), a MOESI domain, and a MESIF
+/// domain. Requesters 8 and 9 of the generator belong to no node, so
+/// their traffic exercises the filter-drop path.
+fn multi_topology() -> Vec<NodeSlotSpec> {
+    vec![
+        (
+            params(),
+            standard::mesi(),
+            0,
+            (0..4).map(ProcId::new).collect(),
+        ),
+        (
+            params(),
+            standard::mesi(),
+            0,
+            (4..8).map(ProcId::new).collect(),
+        ),
+        (
+            params(),
+            standard::moesi(),
+            1,
+            (0..8).map(ProcId::new).collect(),
+        ),
+        (
+            params(),
+            standard::mesif(),
+            2,
+            (0..8).map(ProcId::new).collect(),
+        ),
+    ]
+}
+
+fn fuzz(
+    label: &str,
+    slots: Vec<NodeSlotSpec>,
+    procs: u8,
+    opts: &Options,
+) -> Result<bool, memories::Error> {
+    let config = FuzzConfig {
+        seed: opts.seed,
+        iterations: opts.iters,
+        time_box: opts.seconds.map(Duration::from_secs),
+        procs,
+        shards: vec![2, 4, 8],
+        corpus_dir: opts.corpus.as_ref().map(|d| d.join(label)),
+        write_corpus: opts.refresh_corpus,
+        counterexample_dir: opts.out_dir.as_ref().map(|d| d.join(label)),
+        ..FuzzConfig::default()
+    };
+    let report = DifferentialFuzzer::new(slots, config)?.run()?;
+    println!("[{label}] {report}");
+    Ok(report.is_clean())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Phase 1: model-check every builtin protocol.
+    let tables = match standard::try_all() {
+        Ok(tables) => tables,
+        Err(e) => {
+            eprintln!("builtin protocol failed to parse: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut clean = true;
+    for table in &tables {
+        let report = check_table(table);
+        println!("{report}");
+        clean &= report.is_clean();
+    }
+    if !clean {
+        eprintln!("model checking failed");
+        return ExitCode::FAILURE;
+    }
+    if opts.check_only {
+        println!("model checking clean ({} protocols)", tables.len());
+        return ExitCode::SUCCESS;
+    }
+
+    // Phase 2: differential fuzzing. The single-node topology keeps all
+    // eight requesters local (CacheSim oracle active); the multi-node
+    // topology adds two out-of-partition requesters.
+    let mut ok = true;
+    for (label, slots, procs) in [
+        ("single", single_topology(), 8),
+        ("multi", multi_topology(), 10),
+    ] {
+        match fuzz(label, slots, procs, &opts) {
+            Ok(was_clean) => ok &= was_clean,
+            Err(e) => {
+                eprintln!("[{label}] fuzzer error: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("differential fuzzing found divergence");
+        ExitCode::FAILURE
+    }
+}

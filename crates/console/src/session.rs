@@ -44,6 +44,7 @@ use memories_obs::{EngineTelemetry, TimeSeries};
 use memories_protocol::ProtocolTable;
 use memories_sim::{EmulationEngine, EngineConfig, MonitorReport};
 use memories_trace::TraceRecord;
+use memories_verify::{verify_board, FuzzConfig, VerifyReport};
 use memories_workloads::{RefKind, Workload, WorkloadEvent};
 
 use crate::runner::ExperimentResult;
@@ -347,6 +348,39 @@ impl EmulationSession {
     /// Configured shard parallelism.
     pub fn parallelism(&self) -> usize {
         self.parallelism
+    }
+
+    /// Verifies this session's board configuration: model-checks every
+    /// distinct protocol loaded into a node slot, then differentially
+    /// fuzzes the exact topology (serial vs. parallel engines vs. the
+    /// reference model) with the given fuzz configuration.
+    ///
+    /// This is the programmatic face of the `memories-verify` subsystem —
+    /// the same checks the CI `verify` job runs against the builtin
+    /// protocols, but aimed at whatever (possibly hand-written) tables
+    /// and node layout this session was built with.
+    ///
+    /// # Errors
+    ///
+    /// Propagates board construction or corpus I/O failures. A *verifier
+    /// finding* (a protocol violation or an engine divergence) is not an
+    /// error: it is reported in the returned [`VerifyReport`], whose
+    /// `is_clean` answers pass/fail.
+    pub fn verify(&self, config: FuzzConfig) -> Result<VerifyReport, Error> {
+        let slots = self
+            .board
+            .slots
+            .iter()
+            .map(|slot| {
+                (
+                    slot.params,
+                    slot.protocol.clone(),
+                    slot.domain,
+                    slot.cpus.clone(),
+                )
+            })
+            .collect();
+        verify_board(slots, config)
     }
 
     /// Drives `refs` workload references through the host machine with

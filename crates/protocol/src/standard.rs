@@ -5,6 +5,7 @@
 //! write by hand, so they double as format documentation and as fixtures
 //! for the parser.
 
+use crate::error::ProtocolParseError;
 use crate::table::ProtocolTable;
 
 /// Map-file source for the MESI protocol (the default for emulated shared
@@ -222,34 +223,91 @@ on io-write      * *        -> I
 on flush         * *        -> I
 ";
 
-fn parse_builtin(source: &str, name: &str) -> ProtocolTable {
-    ProtocolTable::parse_map_file(source)
-        .unwrap_or_else(|e| panic!("builtin protocol {name} failed to parse: {e}"))
+/// Parses the MESI map file.
+///
+/// # Errors
+///
+/// Returns the parse error verbatim; the infallible [`mesi`] wrapper
+/// `expect`s it (a failing builtin map is a bug in this crate, and the
+/// `memories-verify` suite asserts every builtin parses cleanly).
+pub fn try_mesi() -> Result<ProtocolTable, ProtocolParseError> {
+    ProtocolTable::parse_map_file(MESI_MAP)
+}
+
+/// Parses the MSI map file.
+///
+/// # Errors
+///
+/// As [`try_mesi`].
+pub fn try_msi() -> Result<ProtocolTable, ProtocolParseError> {
+    ProtocolTable::parse_map_file(MSI_MAP)
+}
+
+/// Parses the MOESI map file.
+///
+/// # Errors
+///
+/// As [`try_mesi`].
+pub fn try_moesi() -> Result<ProtocolTable, ProtocolParseError> {
+    ProtocolTable::parse_map_file(MOESI_MAP)
+}
+
+/// Parses the MESIF map file.
+///
+/// # Errors
+///
+/// As [`try_mesi`].
+pub fn try_mesif() -> Result<ProtocolTable, ProtocolParseError> {
+    ProtocolTable::parse_map_file(MESIF_MAP)
+}
+
+/// Parses the write-through map file.
+///
+/// # Errors
+///
+/// As [`try_mesi`].
+pub fn try_write_through() -> Result<ProtocolTable, ProtocolParseError> {
+    ProtocolTable::parse_map_file(WRITE_THROUGH_MAP)
+}
+
+/// Parses every builtin protocol, in the same order as [`all`].
+///
+/// # Errors
+///
+/// Returns the first builtin map file that fails to parse.
+pub fn try_all() -> Result<Vec<ProtocolTable>, ProtocolParseError> {
+    Ok(vec![
+        try_mesi()?,
+        try_msi()?,
+        try_moesi()?,
+        try_mesif()?,
+        try_write_through()?,
+    ])
 }
 
 /// The MESI protocol table.
 pub fn mesi() -> ProtocolTable {
-    parse_builtin(MESI_MAP, "mesi")
+    try_mesi().expect("MESI_MAP is a valid builtin map file")
 }
 
 /// The MSI protocol table.
 pub fn msi() -> ProtocolTable {
-    parse_builtin(MSI_MAP, "msi")
+    try_msi().expect("MSI_MAP is a valid builtin map file")
 }
 
 /// The MOESI protocol table.
 pub fn moesi() -> ProtocolTable {
-    parse_builtin(MOESI_MAP, "moesi")
+    try_moesi().expect("MOESI_MAP is a valid builtin map file")
 }
 
 /// The MESIF protocol table.
 pub fn mesif() -> ProtocolTable {
-    parse_builtin(MESIF_MAP, "mesif")
+    try_mesif().expect("MESIF_MAP is a valid builtin map file")
 }
 
 /// The write-through protocol table.
 pub fn write_through() -> ProtocolTable {
-    parse_builtin(WRITE_THROUGH_MAP, "write-through")
+    try_write_through().expect("WRITE_THROUGH_MAP is a valid builtin map file")
 }
 
 /// All builtin protocols, for tests and tooling.
@@ -263,6 +321,14 @@ mod tests {
     use crate::action::Action;
     use crate::event::{AccessEvent, RemoteSummary};
     use crate::state::StateId;
+
+    #[test]
+    fn fallible_constructors_agree_with_infallible_ones() {
+        let tables = try_all().expect("every builtin parses");
+        assert_eq!(tables, all());
+        assert_eq!(try_mesi().unwrap(), mesi());
+        assert_eq!(try_write_through().unwrap(), write_through());
+    }
 
     #[test]
     fn builtins_parse_and_are_complete() {

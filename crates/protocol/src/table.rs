@@ -248,6 +248,17 @@ impl TableBuilder {
             .map(|i| StateId::new(i as u8))
     }
 
+    /// Overrides the state newly tracked lines start from (state 0, the
+    /// invalid state, by convention — and the map-file format offers no
+    /// way to change it). Out-of-range values are rejected at
+    /// [`build`](Self::build); non-invalid values build fine but are
+    /// flagged by the `memories-verify` model checker, which is exactly
+    /// what its mutation tests use this hook for.
+    pub fn initial_state(&mut self, state: StateId) -> &mut Self {
+        self.initial = state;
+        self
+    }
+
     /// Defines the transition for one cell, overwriting any earlier
     /// definition (later rules win, as in the map-file format).
     pub fn on(
@@ -376,6 +387,18 @@ mod tests {
             b.on_any_state(event, Transition::to(StateId::new(1)));
         }
         assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn initial_state_override_is_validated() {
+        let mut b = complete_builder();
+        b.initial_state(StateId::new(1));
+        assert_eq!(b.build().unwrap().initial_state(), StateId::new(1));
+        b.initial_state(StateId::new(7));
+        assert!(matches!(
+            b.build(),
+            Err(ProtocolError::BadInitialState { initial: 7 })
+        ));
     }
 
     #[test]

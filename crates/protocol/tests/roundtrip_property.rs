@@ -1,0 +1,74 @@
+//! Formatter/parser round-trip property: any buildable table formatted
+//! with [`ProtocolTable::to_map_file`] and re-parsed must compare equal.
+//!
+//! The verification fuzzer stores protocol mutants and corpus metadata in
+//! the map-file format, so any drift between the formatter and the parser
+//! would silently corrupt its fixtures; this test pins the two together
+//! over randomly generated tables, not just the hand-written builtins.
+
+use memories_protocol::{
+    standard, AccessEvent, Action, ActionSet, ProtocolTable, RemoteSummary, StateId, TableBuilder,
+    Transition,
+};
+use proptest::prelude::*;
+
+/// State-name pool: single tokens the map-file grammar accepts.
+const NAMES: [&str; 8] = ["I", "S", "E", "M", "O", "F", "V", "X"];
+
+/// Builds a complete table from `count` states and one `(next, actions)`
+/// pair per cell of the full 9x8x3 input space (cells beyond `count`
+/// states are ignored; `next` is folded into range).
+fn build_table(count: usize, cells: &[(u8, u8)]) -> ProtocolTable {
+    let mut b = TableBuilder::new("fuzzed", &NAMES[..count]).unwrap();
+    for event in AccessEvent::ALL {
+        for s in 0..count {
+            for remote in RemoteSummary::ALL {
+                let (next, bits) = cells
+                    [(event.index() * NAMES.len() + s) * RemoteSummary::ALL.len() + remote.index()];
+                let mut actions = ActionSet::EMPTY;
+                for (i, action) in Action::ALL.into_iter().enumerate() {
+                    if bits & (1 << i) != 0 {
+                        actions.insert(action);
+                    }
+                }
+                b.on(
+                    event,
+                    StateId::new(s as u8),
+                    remote,
+                    Transition::new(StateId::new(next % count as u8), actions),
+                );
+            }
+        }
+    }
+    b.build().expect("all cells defined, next states in range")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// format -> re-parse -> equality, for arbitrary complete tables.
+    #[test]
+    fn random_tables_roundtrip_through_map_files(
+        count in 2usize..9,
+        cells in prop::collection::vec((0u8..8, 0u8..16), 216..217),
+    ) {
+        let table = build_table(count, &cells);
+        let text = table.to_map_file();
+        let back = ProtocolTable::parse_map_file(&text).unwrap();
+        prop_assert_eq!(table, back);
+    }
+}
+
+#[test]
+fn builtin_tables_roundtrip_through_map_files() {
+    for table in standard::try_all().expect("builtins parse") {
+        let text = table.to_map_file();
+        let back = ProtocolTable::parse_map_file(&text).unwrap();
+        assert_eq!(
+            table,
+            back,
+            "{} drifted through the formatter",
+            table.name()
+        );
+    }
+}

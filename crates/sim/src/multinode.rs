@@ -107,6 +107,18 @@ impl MultiNodeSim {
 
     /// Processes one trace record (untimed: buffers never overflow).
     pub fn step(&mut self, rec: &TraceRecord) {
+        self.step_with(rec, |_, _, _, _| {});
+    }
+
+    /// Like [`MultiNodeSim::step`], additionally reporting every protocol
+    /// table cell the record exercises to `probe` as
+    /// `(node, event, pre-state, remote summary)` — the coverage hook of
+    /// the `memories-verify` fuzzer, which treats the set of exercised
+    /// cells as its coverage signal.
+    pub fn step_with<F>(&mut self, rec: &TraceRecord, mut probe: F)
+    where
+        F: FnMut(usize, AccessEvent, StateId, RemoteSummary),
+    {
         if rec.resp == SnoopResponse::Retry {
             return;
         }
@@ -127,6 +139,9 @@ impl MultiNodeSim {
         }
         // Phase 2: transitions.
         for (n, event, remote) in work {
+            let node = &self.nodes[n];
+            let line = rec.addr.value() >> node.params.geometry().line_size().trailing_zeros();
+            probe(n, event, node.state_of(line), remote);
             self.apply(n, event, remote, rec);
         }
     }

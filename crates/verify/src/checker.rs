@@ -1,0 +1,720 @@
+//! Exhaustive protocol model checking.
+//!
+//! [`check_table`] walks every `(event, state, remote-summary)` cell of a
+//! [`ProtocolTable`] and then explores two state spaces exhaustively:
+//!
+//! * **Single-node reachability** — which declared states a line can
+//!   actually reach from the initial state, and whether each reachable
+//!   state can drain back to invalid (castout-absorbing states included).
+//! * **A two-node product machine** — two caches of the same coherence
+//!   domain running the table in lock step, with remote summaries derived
+//!   from the peer's pre-transition state exactly as the board and
+//!   [`MultiNodeSim`](memories_sim::MultiNodeSim) compute them. On top of
+//!   the product walk sits an abstract data-value model (who holds the
+//!   latest copy of the line: either cache and/or memory), which turns
+//!   single-writer-multiple-reader (SWMR) and no-lost-update coherence
+//!   arguments into checkable invariants.
+//!
+//! The checker is conservative where the emulation is: a local castout
+//! only fires when every peer is invalid (the host's inclusive L2s cast
+//! out lines they hold exclusively), and write misses without an
+//! `allocate` action are modeled as no-allocate writes that update
+//! memory. All five builtin protocols pass cleanly; the mutation tests
+//! show single-cell corruptions are rejected.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+
+use memories_protocol::{AccessEvent, Action, ProtocolTable, RemoteSummary, StateId};
+
+/// One invariant violation found by [`check_table`].
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum Violation {
+    /// The table's initial state is not the invalid state 0.
+    NonInvalidInitial {
+        /// Display name of the configured initial state (or its raw id if
+        /// undeclared).
+        initial: String,
+    },
+    /// A cell's next state is beyond the declared state count.
+    UndeclaredNextState {
+        /// The event of the offending cell.
+        event: AccessEvent,
+        /// The source state name.
+        state: String,
+        /// The remote summary of the cell.
+        remote: RemoteSummary,
+        /// The out-of-range next state id.
+        next: u8,
+    },
+    /// A transition out of the invalid state enters a valid state without
+    /// an `allocate` action, so no line would ever be tracked.
+    MissingAllocate {
+        /// The event of the offending cell.
+        event: AccessEvent,
+        /// The remote summary of the cell.
+        remote: RemoteSummary,
+    },
+    /// The invalid state claims to intervene (supply data it cannot have).
+    InvalidIntervenes {
+        /// The event of the offending cell.
+        event: AccessEvent,
+        /// The remote summary of the cell.
+        remote: RemoteSummary,
+    },
+    /// A declared state no sequence of events ever reaches.
+    UnreachableState {
+        /// The unreachable state's name.
+        state: String,
+    },
+    /// A reachable state from which no sequence of events reaches invalid
+    /// (the line could never be dropped, flushed, or reclaimed).
+    UndrainableState {
+        /// The undrainable state's name.
+        state: String,
+    },
+    /// A local read turns a clean (or invalid) line dirty.
+    ReadEntersDirty {
+        /// The source state name.
+        state: String,
+        /// The remote summary of the cell.
+        remote: RemoteSummary,
+        /// The dirty state the read enters.
+        next: String,
+    },
+    /// A local write or upgrade lands in a clean state without a
+    /// `writeback` action: the written data reaches neither a dirty line
+    /// nor memory.
+    WriteLosesData {
+        /// The write-class event.
+        event: AccessEvent,
+        /// The source state name.
+        state: String,
+        /// The remote summary of the cell.
+        remote: RemoteSummary,
+        /// The clean state the write enters.
+        next: String,
+    },
+    /// Product machine: two nodes hold the line dirty simultaneously
+    /// (SWMR broken).
+    DoubleOwner {
+        /// The product event that produced the double ownership.
+        event: String,
+        /// Resulting state of node 0.
+        left: String,
+        /// Resulting state of node 1.
+        right: String,
+    },
+    /// Product machine: after a write-class event at one node, the peer
+    /// still holds a (now stale) valid copy.
+    StaleSharer {
+        /// The product event.
+        event: String,
+        /// The writer's resulting state.
+        writer: String,
+        /// The peer's retained state.
+        sharer: String,
+    },
+    /// Product machine: a read (demand or DMA) observed data that is not
+    /// the latest value of the line.
+    StaleRead {
+        /// The product event.
+        event: String,
+        /// States of both nodes when the stale read happened.
+        holders: String,
+    },
+    /// Product machine: the latest value of the line is held by no cache
+    /// and not by memory — an update was lost.
+    DataLoss {
+        /// The product event that lost the data.
+        event: String,
+        /// Resulting state of node 0.
+        left: String,
+        /// Resulting state of node 1.
+        right: String,
+    },
+    /// Product machine: a node retains a valid copy that is not the
+    /// latest value (a reader at that node would see stale data).
+    StaleCopy {
+        /// The product event.
+        event: String,
+        /// The state of the stale holder.
+        holder: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::NonInvalidInitial { initial } => {
+                write!(f, "initial state is {initial}, not the invalid state")
+            }
+            Violation::UndeclaredNextState {
+                event,
+                state,
+                remote,
+                next,
+            } => write!(
+                f,
+                "{event} from {state} (remote {remote}) targets undeclared state {next}"
+            ),
+            Violation::MissingAllocate { event, remote } => write!(
+                f,
+                "{event} from invalid (remote {remote}) enters a valid state without allocate"
+            ),
+            Violation::InvalidIntervenes { event, remote } => {
+                write!(f, "invalid state intervenes on {event} (remote {remote})")
+            }
+            Violation::UnreachableState { state } => {
+                write!(f, "state {state} is unreachable from initial")
+            }
+            Violation::UndrainableState { state } => {
+                write!(f, "state {state} cannot drain back to invalid")
+            }
+            Violation::ReadEntersDirty {
+                state,
+                remote,
+                next,
+            } => write!(
+                f,
+                "local-read from {state} (remote {remote}) dirties the line into {next}"
+            ),
+            Violation::WriteLosesData {
+                event,
+                state,
+                remote,
+                next,
+            } => write!(
+                f,
+                "{event} from {state} (remote {remote}) lands clean in {next} without writeback"
+            ),
+            Violation::DoubleOwner { event, left, right } => write!(
+                f,
+                "SWMR broken: {event} leaves both nodes dirty ({left}, {right})"
+            ),
+            Violation::StaleSharer {
+                event,
+                writer,
+                sharer,
+            } => write!(
+                f,
+                "{event}: writer in {writer} but peer retains stale copy in {sharer}"
+            ),
+            Violation::StaleRead { event, holders } => {
+                write!(f, "{event} reads stale data (nodes in {holders})")
+            }
+            Violation::DataLoss { event, left, right } => write!(
+                f,
+                "{event} loses the latest value (nodes left in {left}, {right}; memory stale)"
+            ),
+            Violation::StaleCopy { event, holder } => {
+                write!(f, "{event} leaves a stale valid copy in {holder}")
+            }
+        }
+    }
+}
+
+/// The result of model-checking one protocol table.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// The protocol's name.
+    pub protocol: String,
+    /// Table cells walked (always the full dense space).
+    pub cells_walked: usize,
+    /// Declared states reachable from the initial state.
+    pub reachable_states: usize,
+    /// Distinct `(state, state, data)` product configurations explored.
+    pub product_states: usize,
+    /// Invariant violations, deduplicated and sorted.
+    pub violations: Vec<Violation>,
+}
+
+impl CheckReport {
+    /// Whether the table passed every invariant.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "protocol {}: {} cells, {} reachable states, {} product states: {}",
+            self.protocol,
+            self.cells_walked,
+            self.reachable_states,
+            self.product_states,
+            if self.is_clean() {
+                "clean"
+            } else {
+                "VIOLATIONS"
+            }
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Names a state for reporting, tolerating out-of-range ids.
+fn name(t: &ProtocolTable, s: StateId) -> String {
+    if s.index() < t.state_count() {
+        t.state_name(s).to_string()
+    } else {
+        format!("#{}", s.index())
+    }
+}
+
+/// The state a line actually ends in: transitions from invalid into a
+/// valid state only take effect when they allocate (otherwise no entry is
+/// created and the line stays untracked). Out-of-range targets stay put —
+/// they are reported separately as [`Violation::UndeclaredNextState`].
+fn effective_next(t: &ProtocolTable, s: StateId, event: AccessEvent, r: RemoteSummary) -> StateId {
+    let tr = t.lookup(event, s, r);
+    if tr.next.index() >= t.state_count() {
+        return s;
+    }
+    if s.is_invalid() && !tr.next.is_invalid() && !tr.actions.contains(Action::Allocate) {
+        return s;
+    }
+    tr.next
+}
+
+/// Walks every cell: structural invariants (S-series) plus the
+/// single-cell data invariants (reads must not dirty, writes must not
+/// land clean without a writeback).
+fn walk_cells(t: &ProtocolTable, out: &mut BTreeSet<Violation>) -> usize {
+    let mut walked = 0;
+    for event in AccessEvent::ALL {
+        for s in StateId::all(t.state_count()) {
+            for r in RemoteSummary::ALL {
+                let tr = t.lookup(event, s, r);
+                walked += 1;
+                if tr.next.index() >= t.state_count() {
+                    out.insert(Violation::UndeclaredNextState {
+                        event,
+                        state: name(t, s),
+                        remote: r,
+                        next: tr.next.value(),
+                    });
+                    continue;
+                }
+                if s.is_invalid() {
+                    if !tr.next.is_invalid() && !tr.actions.contains(Action::Allocate) {
+                        out.insert(Violation::MissingAllocate { event, remote: r });
+                    }
+                    if tr.actions.intervenes() {
+                        out.insert(Violation::InvalidIntervenes { event, remote: r });
+                    }
+                }
+                let next_dirty = !tr.next.is_invalid() && t.is_dirty_state(tr.next);
+                if event == AccessEvent::LocalRead && !t.is_dirty_state(s) && next_dirty {
+                    out.insert(Violation::ReadEntersDirty {
+                        state: name(t, s),
+                        remote: r,
+                        next: name(t, tr.next),
+                    });
+                }
+                if matches!(event, AccessEvent::LocalWrite | AccessEvent::LocalUpgrade)
+                    && !tr.next.is_invalid()
+                    && !next_dirty
+                    && !tr.actions.contains(Action::Writeback)
+                {
+                    out.insert(Violation::WriteLosesData {
+                        event,
+                        state: name(t, s),
+                        remote: r,
+                        next: name(t, tr.next),
+                    });
+                }
+            }
+        }
+    }
+    walked
+}
+
+/// Single-node reachability and drainability over effective transitions.
+///
+/// Reachability is liberal (every `(event, remote)` pair is considered
+/// possible from every state), so "unreachable" means unreachable under
+/// *any* interleaving — exactly the dead-state smell the checker wants.
+fn walk_reachability(t: &ProtocolTable, out: &mut BTreeSet<Violation>) -> usize {
+    let n = t.state_count();
+    let start = if t.initial_state().index() < n {
+        t.initial_state()
+    } else {
+        StateId::INVALID
+    };
+    let mut reachable = vec![false; n];
+    let mut queue = VecDeque::from([start]);
+    reachable[start.index()] = true;
+    while let Some(s) = queue.pop_front() {
+        for event in AccessEvent::ALL {
+            for r in RemoteSummary::ALL {
+                let next = effective_next(t, s, event, r);
+                if !reachable[next.index()] {
+                    reachable[next.index()] = true;
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    for (i, ok) in reachable.iter().enumerate() {
+        if !ok {
+            out.insert(Violation::UnreachableState {
+                state: name(t, StateId::new(i as u8)),
+            });
+        }
+    }
+
+    // Drainability: fixpoint of "some event chain reaches invalid".
+    let mut drains = vec![false; n];
+    drains[StateId::INVALID.index()] = true;
+    loop {
+        let mut changed = false;
+        for s in StateId::all(n) {
+            if drains[s.index()] {
+                continue;
+            }
+            let escapes = AccessEvent::ALL.iter().any(|&event| {
+                RemoteSummary::ALL
+                    .iter()
+                    .any(|&r| drains[effective_next(t, s, event, r).index()])
+            });
+            if escapes {
+                drains[s.index()] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for s in StateId::all(n) {
+        if reachable[s.index()] && !drains[s.index()] {
+            out.insert(Violation::UndrainableState { state: name(t, s) });
+        }
+    }
+    reachable.iter().filter(|r| **r).count()
+}
+
+/// One configuration of the two-node product machine: both line states
+/// plus the abstract data-value model (`latest[i]` = node i's copy is the
+/// newest value; `mem` = memory holds the newest value).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct ProductState {
+    s: [StateId; 2],
+    latest: [bool; 2],
+    mem: bool,
+}
+
+/// Events the two-node product machine can fire.
+#[derive(Clone, Copy, Debug)]
+enum ProductEvent {
+    Demand(usize, AccessEvent),
+    Castout(usize),
+    IoRead,
+    IoWrite,
+    Flush,
+}
+
+impl ProductEvent {
+    fn describe(self, t: &ProtocolTable, p: &ProductState) -> String {
+        let states = format!("({}, {})", name(t, p.s[0]), name(t, p.s[1]));
+        match self {
+            ProductEvent::Demand(i, e) => format!("node{i} {e} at {states}"),
+            ProductEvent::Castout(i) => format!("node{i} local-castout at {states}"),
+            ProductEvent::IoRead => format!("io-read at {states}"),
+            ProductEvent::IoWrite => format!("io-write at {states}"),
+            ProductEvent::Flush => format!("flush at {states}"),
+        }
+    }
+}
+
+/// Applies one product event, recording any violated invariant. Returns
+/// the successor state; successors of violating transitions are not
+/// explored further (the report names root causes, not their fallout).
+fn product_step(
+    t: &ProtocolTable,
+    p: ProductState,
+    event: ProductEvent,
+    out: &mut BTreeSet<Violation>,
+) -> Option<ProductState> {
+    let label = || event.describe(t, &p);
+    let dirty = |s: StateId| !s.is_invalid() && t.is_dirty_state(s);
+    let mut next = p;
+    let before = out.len();
+
+    match event {
+        ProductEvent::Demand(a, ev) => {
+            let o = 1 - a;
+            let ra = t.summarize_state(p.s[o]);
+            let ro = t.summarize_state(p.s[a]);
+            let peer_event = match ev {
+                AccessEvent::LocalRead => AccessEvent::RemoteRead,
+                _ => AccessEvent::RemoteWrite,
+            };
+            let ta = t.lookup(ev, p.s[a], ra);
+            let to = t.lookup(peer_event, p.s[o], ro);
+            next.s[a] = effective_next(t, p.s[a], ev, ra);
+            next.s[o] = effective_next(t, p.s[o], peer_event, ro);
+
+            if ev == AccessEvent::LocalRead {
+                // Data source: own copy on a hit, the dirty peer via
+                // intervention/writeback, memory otherwise.
+                let src_latest = if !p.s[a].is_invalid() {
+                    p.latest[a]
+                } else if dirty(p.s[o]) {
+                    p.latest[o]
+                } else {
+                    p.mem
+                };
+                if !src_latest {
+                    out.insert(Violation::StaleRead {
+                        event: label(),
+                        holders: format!("({}, {})", name(t, p.s[0]), name(t, p.s[1])),
+                    });
+                }
+                if to.actions.contains(Action::Writeback) {
+                    next.mem = p.latest[o];
+                }
+                if ta.actions.contains(Action::Writeback) {
+                    next.mem = src_latest;
+                }
+                next.latest[a] = !next.s[a].is_invalid() && src_latest;
+                next.latest[o] = !next.s[o].is_invalid() && p.latest[o];
+            } else {
+                // Write class: node a creates the new value.
+                if next.s[a].is_invalid() {
+                    // No-allocate (or invalidating) write: the bus write
+                    // falls through to memory.
+                    next.latest[a] = false;
+                    next.mem = true;
+                } else {
+                    next.latest[a] = true;
+                    next.mem = ta.actions.contains(Action::Writeback);
+                }
+                if !next.s[o].is_invalid() {
+                    out.insert(Violation::StaleSharer {
+                        event: label(),
+                        writer: name(t, next.s[a]),
+                        sharer: name(t, next.s[o]),
+                    });
+                }
+                next.latest[o] = false;
+            }
+        }
+        ProductEvent::Castout(a) => {
+            // Precondition (enforced by the caller): the peer is invalid.
+            // The castout carries the newest value (the L2 above held the
+            // line modified under inclusion).
+            let ra = t.summarize_state(p.s[1 - a]);
+            let ta = t.lookup(AccessEvent::LocalCastout, p.s[a], ra);
+            next.s[a] = effective_next(t, p.s[a], AccessEvent::LocalCastout, ra);
+            if next.s[a].is_invalid() {
+                // Not absorbed: the bus write-back lands in memory.
+                next.latest[a] = false;
+                next.mem = true;
+            } else if dirty(next.s[a]) {
+                next.latest[a] = true;
+                next.mem = ta.actions.contains(Action::Writeback);
+            } else {
+                // Absorbed clean: coherent only if memory was updated too
+                // (write-through style absorption).
+                next.latest[a] = true;
+                next.mem = true;
+            }
+        }
+        ProductEvent::IoRead => {
+            let tr = [
+                t.lookup(AccessEvent::IoRead, p.s[0], t.summarize_state(p.s[1])),
+                t.lookup(AccessEvent::IoRead, p.s[1], t.summarize_state(p.s[0])),
+            ];
+            let owner = (0..2).find(|&i| dirty(p.s[i]));
+            let src_latest = match owner {
+                Some(i)
+                    if tr[i].actions.intervenes() || tr[i].actions.contains(Action::Writeback) =>
+                {
+                    p.latest[i]
+                }
+                _ => p.mem,
+            };
+            if !src_latest {
+                out.insert(Violation::StaleRead {
+                    event: label(),
+                    holders: format!("({}, {})", name(t, p.s[0]), name(t, p.s[1])),
+                });
+            }
+            #[allow(clippy::needless_range_loop)] // i indexes four arrays, incl. p.s[1 - i]
+            for i in 0..2 {
+                if tr[i].actions.contains(Action::Writeback) {
+                    next.mem = p.latest[i];
+                }
+                next.s[i] = effective_next(
+                    t,
+                    p.s[i],
+                    AccessEvent::IoRead,
+                    t.summarize_state(p.s[1 - i]),
+                );
+                next.latest[i] = !next.s[i].is_invalid() && p.latest[i];
+            }
+        }
+        ProductEvent::IoWrite => {
+            // Inbound DMA: memory gets the new value; every cached copy
+            // is now stale and must go.
+            next.mem = true;
+            for i in 0..2 {
+                next.s[i] = effective_next(
+                    t,
+                    p.s[i],
+                    AccessEvent::IoWrite,
+                    t.summarize_state(p.s[1 - i]),
+                );
+                if !next.s[i].is_invalid() {
+                    out.insert(Violation::StaleSharer {
+                        event: label(),
+                        writer: "memory".to_string(),
+                        sharer: name(t, next.s[i]),
+                    });
+                }
+                next.latest[i] = false;
+            }
+        }
+        ProductEvent::Flush => {
+            for i in 0..2 {
+                let tr = t.lookup(AccessEvent::Flush, p.s[i], t.summarize_state(p.s[1 - i]));
+                if tr.actions.contains(Action::Writeback) && p.latest[i] {
+                    next.mem = true;
+                }
+                next.s[i] =
+                    effective_next(t, p.s[i], AccessEvent::Flush, t.summarize_state(p.s[1 - i]));
+            }
+            for i in 0..2 {
+                next.latest[i] = !next.s[i].is_invalid() && p.latest[i];
+            }
+        }
+    }
+
+    // End-state invariants.
+    if dirty(next.s[0]) && dirty(next.s[1]) {
+        out.insert(Violation::DoubleOwner {
+            event: label(),
+            left: name(t, next.s[0]),
+            right: name(t, next.s[1]),
+        });
+    }
+    let held = next.mem
+        || (!next.s[0].is_invalid() && next.latest[0])
+        || (!next.s[1].is_invalid() && next.latest[1]);
+    if !held {
+        out.insert(Violation::DataLoss {
+            event: label(),
+            left: name(t, next.s[0]),
+            right: name(t, next.s[1]),
+        });
+    }
+    for i in 0..2 {
+        if !next.s[i].is_invalid() && !next.latest[i] {
+            out.insert(Violation::StaleCopy {
+                event: label(),
+                holder: name(t, next.s[i]),
+            });
+        }
+    }
+
+    (out.len() == before).then_some(next)
+}
+
+/// Exhaustive BFS over the two-node product machine.
+fn walk_product(t: &ProtocolTable, out: &mut BTreeSet<Violation>) -> usize {
+    let start = ProductState {
+        s: [StateId::INVALID; 2],
+        latest: [false; 2],
+        mem: true,
+    };
+    let mut seen = BTreeSet::from([start]);
+    let mut queue = VecDeque::from([start]);
+    while let Some(p) = queue.pop_front() {
+        let mut events: Vec<ProductEvent> = Vec::with_capacity(11);
+        for a in 0..2 {
+            for ev in [
+                AccessEvent::LocalRead,
+                AccessEvent::LocalWrite,
+                AccessEvent::LocalUpgrade,
+            ] {
+                events.push(ProductEvent::Demand(a, ev));
+            }
+            // A castout means the L2 above held the line modified, which
+            // under the host's inclusive hierarchy precludes valid peer
+            // copies.
+            if p.s[1 - a].is_invalid() {
+                events.push(ProductEvent::Castout(a));
+            }
+        }
+        events.extend([
+            ProductEvent::IoRead,
+            ProductEvent::IoWrite,
+            ProductEvent::Flush,
+        ]);
+        for event in events {
+            if let Some(next) = product_step(t, p, event, out) {
+                if seen.insert(next) {
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    seen.len()
+}
+
+/// Model-checks one protocol table; see the module docs for the invariant
+/// catalogue.
+pub fn check_table(t: &ProtocolTable) -> CheckReport {
+    let mut violations = BTreeSet::new();
+    if !t.initial_state().is_invalid() {
+        violations.insert(Violation::NonInvalidInitial {
+            initial: name(t, t.initial_state()),
+        });
+    }
+    let cells_walked = walk_cells(t, &mut violations);
+    let reachable_states = walk_reachability(t, &mut violations);
+    let product_states = walk_product(t, &mut violations);
+    CheckReport {
+        protocol: t.name().to_string(),
+        cells_walked,
+        reachable_states,
+        product_states,
+        violations: violations.into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memories_protocol::standard;
+
+    #[test]
+    fn builtin_protocols_are_clean() {
+        for t in standard::all() {
+            let report = check_table(&t);
+            assert!(report.is_clean(), "{report}");
+            assert_eq!(report.reachable_states, t.state_count(), "{report}");
+            assert_eq!(report.cells_walked, 9 * t.state_count() * 3);
+            assert!(report.product_states >= t.state_count(), "{report}");
+        }
+    }
+
+    #[test]
+    fn report_renders_violations() {
+        let mut bad = standard::MESI_MAP.to_string();
+        bad.push_str("on remote-write M * -> M intervene-modified\n");
+        let t = memories_protocol::ProtocolTable::parse_map_file(&bad).unwrap();
+        let report = check_table(&t);
+        assert!(!report.is_clean());
+        let text = report.to_string();
+        assert!(text.contains("VIOLATIONS"), "{text}");
+    }
+}

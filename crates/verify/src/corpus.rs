@@ -1,0 +1,105 @@
+//! On-disk corpus of interesting transaction streams.
+//!
+//! Corpus entries are ordinary trace files in the `memories-trace` binary
+//! format (`MIES` magic, 8-byte little-endian records), so any corpus
+//! entry can be replayed by every tool in the workspace. Entries are
+//! named by a content hash (`<fnv1a-hex>.trace`), which deduplicates
+//! automatically, and loaded in sorted filename order so a fuzz run over
+//! a fixed corpus is byte-for-byte reproducible regardless of directory
+//! enumeration order.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use memories::Error;
+use memories_trace::{TraceReader, TraceRecord, TraceWriter};
+
+/// FNV-1a over the encoded records: the corpus entry's identity.
+pub fn stream_hash(records: &[TraceRecord]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for rec in records {
+        let word = rec.encode().map(u64::to_le_bytes).unwrap_or([0; 8]);
+        for byte in word {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Loads every `.trace` file under `dir`, sorted by filename.
+///
+/// A missing directory is an empty corpus, not an error; unreadable or
+/// corrupt entries are errors (a truncated corpus should fail loudly,
+/// not silently shrink coverage).
+pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, Vec<TraceRecord>)>, Error> {
+    if !dir.exists() {
+        return Ok(Vec::new());
+    }
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(Error::other)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "trace"))
+        .collect();
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        out.push((path.clone(), load_file(&path)?));
+    }
+    Ok(out)
+}
+
+/// Reads one trace file into memory.
+pub fn load_file(path: &Path) -> Result<Vec<TraceRecord>, Error> {
+    let file = fs::File::open(path).map_err(Error::other)?;
+    TraceReader::new(std::io::BufReader::new(file))
+        .map_err(Error::from)?
+        .map(|r| r.map_err(Error::from))
+        .collect()
+}
+
+/// Writes `records` to `dir/<hash>.trace`, creating `dir` if needed.
+/// Returns the entry's path. Saving the same stream twice is a no-op.
+pub fn save(dir: &Path, records: &[TraceRecord]) -> Result<PathBuf, Error> {
+    fs::create_dir_all(dir).map_err(Error::other)?;
+    let path = dir.join(format!("{:016x}.trace", stream_hash(records)));
+    if path.exists() {
+        return Ok(path);
+    }
+    let file = fs::File::create(&path).map_err(Error::other)?;
+    let mut w = TraceWriter::new(std::io::BufWriter::new(file)).map_err(Error::from)?;
+    for rec in records {
+        w.write_record(rec)?;
+    }
+    w.finish()?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::StreamGenerator;
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!(
+            "memories-verify-corpus-{}-{:x}",
+            std::process::id(),
+            stream_hash(&StreamGenerator::new(1, 4, 8).stream(3)),
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let stream = StreamGenerator::new(99, 10, 64).stream(200);
+        let path = save(&dir, &stream).unwrap();
+        assert_eq!(save(&dir, &stream).unwrap(), path, "dedup by content hash");
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].1, stream);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_is_empty_corpus() {
+        let dir = Path::new("/nonexistent/memories-verify-nowhere");
+        assert!(load_dir(dir).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Coverage signal for the differential fuzzer.
+//!
+//! Coverage is structural, not path-based: the fuzzer counts which
+//! protocol-table *cells* — `(node, event, pre-state, remote summary)`
+//! tuples — the reference model exercised while replaying a stream, plus
+//! which node counters ended the run non-zero. A stream is interesting
+//! (and joins the corpus) exactly when it adds a key no earlier stream
+//! produced. Both key spaces are tiny and enumerable, so coverage
+//! saturates quickly and the metric is bit-for-bit deterministic.
+
+use std::collections::BTreeSet;
+
+use memories::{NodeCounter, NodeCounters};
+use memories_protocol::{AccessEvent, RemoteSummary, StateId};
+
+/// Accumulated coverage keys across fuzz iterations.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Coverage {
+    keys: BTreeSet<u32>,
+}
+
+/// Key space layout: cells occupy `node * CELL_SPAN + cell`, counters sit
+/// above all cells at `COUNTER_BASE + node * 64 + counter`.
+const CELL_SPAN: u32 = 9 * 8 * 3;
+const COUNTER_BASE: u32 = 1 << 16;
+
+impl Coverage {
+    /// An empty coverage set.
+    pub fn new() -> Self {
+        Coverage::default()
+    }
+
+    /// Records that `node` exercised table cell `(event, state, remote)`.
+    pub fn touch_cell(
+        &mut self,
+        node: usize,
+        event: AccessEvent,
+        state: StateId,
+        remote: RemoteSummary,
+    ) {
+        let cell = (event.index() * 8 + usize::from(state.value())) * 3 + remote.index();
+        self.keys.insert(node as u32 * CELL_SPAN + cell as u32);
+    }
+
+    /// Records every counter of `node` that ended a run non-zero.
+    pub fn touch_counters(&mut self, node: usize, counts: &NodeCounters) {
+        for (i, c) in NodeCounter::ALL.into_iter().enumerate() {
+            if counts.get(c) > 0 {
+                self.keys.insert(COUNTER_BASE + node as u32 * 64 + i as u32);
+            }
+        }
+    }
+
+    /// Folds `other` into `self`, returning how many keys were new.
+    pub fn merge_new(&mut self, other: &Coverage) -> usize {
+        let before = self.keys.len();
+        self.keys.extend(other.keys.iter().copied());
+        self.keys.len() - before
+    }
+
+    /// Total distinct keys observed.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_and_counters_do_not_collide() {
+        let mut cov = Coverage::new();
+        for node in 0..8 {
+            for event in AccessEvent::ALL {
+                for s in 0..8u8 {
+                    for remote in RemoteSummary::ALL {
+                        cov.touch_cell(node, event, StateId::new(s), remote);
+                    }
+                }
+            }
+        }
+        let cells = cov.len();
+        assert_eq!(cells, 8 * 9 * 8 * 3);
+        let mut counts = NodeCounters::new();
+        for c in NodeCounter::ALL {
+            counts.incr(c);
+        }
+        for node in 0..8 {
+            cov.touch_counters(node, &counts);
+        }
+        assert_eq!(cov.len(), cells + 8 * NodeCounter::ALL.len());
+    }
+
+    #[test]
+    fn merge_reports_only_new_keys() {
+        let mut a = Coverage::new();
+        a.touch_cell(
+            0,
+            AccessEvent::LocalRead,
+            StateId::INVALID,
+            RemoteSummary::None,
+        );
+        let mut b = Coverage::new();
+        b.touch_cell(
+            0,
+            AccessEvent::LocalRead,
+            StateId::INVALID,
+            RemoteSummary::None,
+        );
+        b.touch_cell(
+            1,
+            AccessEvent::LocalWrite,
+            StateId::new(1),
+            RemoteSummary::Shared,
+        );
+        assert_eq!(a.merge_new(&b), 1);
+        assert_eq!(a.merge_new(&b), 0);
+        assert_eq!(a.len(), 2);
+    }
+}

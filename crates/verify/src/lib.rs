@@ -1,0 +1,86 @@
+//! Verification backstop for the MemorIES emulator: an exhaustive
+//! protocol model checker plus a coverage-guided differential fuzzer
+//! that cross-checks the serial board, the parallel sharded engine, and
+//! the multi-node reference model on identical transaction streams.
+//!
+//! The paper validated the board by re-running traces through an
+//! independent trace-driven simulator and demanding counter-exact
+//! agreement (§4.1). This crate makes that methodology a first-class,
+//! always-on subsystem:
+//!
+//! * [`check_table`] walks every `(event, state, remote-summary)` cell of
+//!   a [`ProtocolTable`](memories_protocol::ProtocolTable), computes the
+//!   reachable state set, and model-checks a two-node product machine
+//!   with an abstract data-value model — rejecting tables that can lose
+//!   the latest copy of a line, leave stale sharers behind a writer, or
+//!   strand castout data.
+//! * [`DifferentialFuzzer`] generates deterministic transaction streams,
+//!   replays each through every engine, and fails on any counter or
+//!   snapshot divergence, shrinking the stream to a minimal
+//!   counterexample. Coverage (exercised table cells + lit counters)
+//!   decides which streams join the on-disk corpus.
+//!
+//! [`verify_board`] bundles both halves: check every protocol on the
+//! board, then fuzz the topology.
+
+pub mod checker;
+pub mod corpus;
+pub mod coverage;
+pub mod fuzz;
+pub mod gen;
+
+use std::fmt;
+
+pub use checker::{check_table, CheckReport, Violation};
+pub use coverage::Coverage;
+pub use fuzz::{Counterexample, DifferentialFuzzer, FuzzConfig, FuzzReport, NodeSlotSpec};
+pub use gen::{HostAccess, StreamGenerator};
+
+use memories::Error;
+
+/// Combined result of [`verify_board`]: one model-check report per
+/// distinct protocol on the board, plus the fuzz report.
+#[derive(Clone, Debug)]
+pub struct VerifyReport {
+    /// Model-check reports, one per distinct protocol (by name).
+    pub checks: Vec<CheckReport>,
+    /// The differential fuzz report.
+    pub fuzz: FuzzReport,
+}
+
+impl VerifyReport {
+    /// Whether every check passed and the fuzzer found no divergence.
+    pub fn is_clean(&self) -> bool {
+        self.checks.iter().all(CheckReport::is_clean) && self.fuzz.is_clean()
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for check in &self.checks {
+            writeln!(f, "{check}")?;
+        }
+        write!(f, "{}", self.fuzz)
+    }
+}
+
+/// Verifies a board topology end to end: model-checks every distinct
+/// protocol in `slots`, then differentially fuzzes the topology. A
+/// protocol that fails the checker short-circuits the fuzz phase — a
+/// broken table would diverge on nearly every stream anyway.
+pub fn verify_board(slots: Vec<NodeSlotSpec>, config: FuzzConfig) -> Result<VerifyReport, Error> {
+    let mut checks: Vec<CheckReport> = Vec::new();
+    for (_, protocol, _, _) in &slots {
+        if !checks.iter().any(|c| c.protocol == protocol.name()) {
+            checks.push(check_table(protocol));
+        }
+    }
+    if checks.iter().any(|c| !c.is_clean()) {
+        return Ok(VerifyReport {
+            checks,
+            fuzz: FuzzReport::default(),
+        });
+    }
+    let fuzz = DifferentialFuzzer::new(slots, config)?.run()?;
+    Ok(VerifyReport { checks, fuzz })
+}

@@ -1,0 +1,84 @@
+//! Every builtin protocol parses (via the fallible constructors) and
+//! passes the model checker, and a mixed-protocol topology survives a
+//! short differential fuzz — the library-level version of what the CI
+//! `verify` job runs at scale.
+
+use memories::CacheParams;
+use memories_bus::ProcId;
+use memories_protocol::standard;
+use memories_verify::{check_table, verify_board, FuzzConfig};
+
+#[test]
+fn all_builtins_parse_and_check_clean() {
+    let tables = standard::try_all().expect("every builtin map parses");
+    assert_eq!(tables.len(), 5);
+    for table in &tables {
+        let report = check_table(table);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(
+            report.cells_walked,
+            9 * table.state_count() * 3,
+            "{}: cell walk incomplete",
+            table.name()
+        );
+        assert_eq!(
+            report.reachable_states,
+            table.state_count(),
+            "{}: dead states in a builtin",
+            table.name()
+        );
+    }
+}
+
+#[test]
+fn mixed_protocol_board_verifies() {
+    let params = CacheParams::builder()
+        .capacity(16 << 10)
+        .ways(2)
+        .line_size(128)
+        .allow_scaled_down()
+        .build()
+        .unwrap();
+    // The board tops out at four nodes, so this exercises MESI sharing
+    // in one domain plus MOESI and write-through in isolated domains;
+    // MESIF rides in the CI driver's multi-node topology instead.
+    let slots = vec![
+        (
+            params,
+            standard::mesi(),
+            0,
+            (0..4).map(ProcId::new).collect(),
+        ),
+        (
+            params,
+            standard::mesi(),
+            0,
+            (4..8).map(ProcId::new).collect(),
+        ),
+        (
+            params,
+            standard::moesi(),
+            1,
+            (0..8).map(ProcId::new).collect(),
+        ),
+        (
+            params,
+            standard::write_through(),
+            2,
+            (0..8).map(ProcId::new).collect(),
+        ),
+    ];
+    let report = verify_board(
+        slots,
+        FuzzConfig {
+            iterations: 5,
+            max_len: 400,
+            shards: vec![2, 4],
+            sample_period: 61,
+            ..FuzzConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.checks.len(), 3, "one check per distinct protocol");
+}

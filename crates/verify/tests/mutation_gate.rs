@@ -1,0 +1,129 @@
+//! The mutation gate: five hand-mutated MESI tables, each a realistic
+//! transcription error in a protocol map file, and each of which must be
+//! rejected by the model checker (or, failing that, caught by the
+//! fuzzer). A verifier that passes all five mutants would be decorative.
+
+use memories_protocol::standard::MESI_MAP;
+use memories_protocol::{AccessEvent, ProtocolTable, RemoteSummary, StateId, TableBuilder};
+use memories_verify::{check_table, Violation};
+
+fn parse(text: &str) -> ProtocolTable {
+    ProtocolTable::parse_map_file(text).expect("mutant still parses")
+}
+
+/// Mutant 1: wrong next-state — a remote write leaves the local M copy
+/// in place instead of invalidating it. Two nodes then both believe they
+/// hold the line dirty.
+#[test]
+fn wrong_next_state_is_rejected() {
+    let mutant = parse(&format!(
+        "{MESI_MAP}\non remote-write  M *        -> M intervene-modified\n"
+    ));
+    let report = check_table(&mutant);
+    assert!(!report.is_clean(), "mutant passed: {report}");
+    assert!(
+        report.violations.iter().any(|v| matches!(
+            v,
+            Violation::DoubleOwner { .. } | Violation::StaleSharer { .. }
+        )),
+        "expected an SWMR violation, got: {report}"
+    );
+}
+
+/// Mutant 2: dropped castout allocate — the absorb-a-castout rule loses
+/// its `allocate` action, so castout data from the processor's L2 is
+/// silently dropped on the floor (the line is not tracked, memory is
+/// never updated).
+#[test]
+fn dropped_castout_allocate_is_rejected() {
+    let mutant = parse(&format!("{MESI_MAP}\non local-castout I *        -> M\n"));
+    let report = check_table(&mutant);
+    assert!(!report.is_clean(), "mutant passed: {report}");
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::MissingAllocate { .. })),
+        "expected MissingAllocate, got: {report}"
+    );
+}
+
+/// Mutant 3: swapped intervention action — a remote read of modified
+/// data answers with a shared intervention and no writeback, so the only
+/// up-to-date copy of the line is downgraded to clean and the dirty data
+/// never reaches memory.
+#[test]
+fn swapped_intervention_is_rejected() {
+    let mutant = parse(&format!(
+        "{MESI_MAP}\non remote-read   M *        -> S intervene-shared\n"
+    ));
+    let report = check_table(&mutant);
+    assert!(!report.is_clean(), "mutant passed: {report}");
+    assert!(
+        report.violations.iter().any(|v| matches!(
+            v,
+            Violation::WriteLosesData { .. }
+                | Violation::DataLoss { .. }
+                | Violation::StaleRead { .. }
+        )),
+        "expected a data-loss violation, got: {report}"
+    );
+}
+
+/// Mutant 4: an extra state no transition ever enters — dead table rows
+/// that the map file's author presumably meant to wire up.
+#[test]
+fn unreachable_state_is_rejected() {
+    let mut text = MESI_MAP.replace("states I S E M", "states I S E M X");
+    for event in AccessEvent::ALL {
+        text.push_str(&format!("on {} X * -> X\n", event.keyword()));
+    }
+    let mutant = parse(&text);
+    let report = check_table(&mutant);
+    assert!(!report.is_clean(), "mutant passed: {report}");
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::UnreachableState { state } if state == "X")),
+        "expected UnreachableState(X), got: {report}"
+    );
+}
+
+/// Mutant 5: a table whose initial (empty-cache) state is not invalid —
+/// the emulated cache would boot claiming to hold modified data.
+#[test]
+fn bad_initial_state_is_rejected() {
+    let mesi = parse(MESI_MAP);
+    let names: Vec<&str> = StateId::all(mesi.state_count())
+        .map(|s| mesi.state_name(s))
+        .collect();
+    let mut b = TableBuilder::new(mesi.name(), &names).unwrap();
+    for event in AccessEvent::ALL {
+        for state in StateId::all(mesi.state_count()) {
+            for remote in RemoteSummary::ALL {
+                b.on(event, state, remote, mesi.lookup(event, state, remote));
+            }
+        }
+    }
+    let m = mesi.state_by_name("M").unwrap();
+    let mutant = b.initial_state(m).build().unwrap();
+    let report = check_table(&mutant);
+    assert!(!report.is_clean(), "mutant passed: {report}");
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::NonInvalidInitial { .. })),
+        "expected NonInvalidInitial, got: {report}"
+    );
+}
+
+/// The gate's control arm: the unmutated table is clean, so the five
+/// rejections above measure the checker, not a checker that rejects
+/// everything.
+#[test]
+fn unmutated_mesi_is_clean() {
+    let report = check_table(&parse(MESI_MAP));
+    assert!(report.is_clean(), "{report}");
+}

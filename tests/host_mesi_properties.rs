@@ -1,0 +1,143 @@
+//! Property tests of the host MESI model, driven by the `memories-verify`
+//! fuzzer's deterministic stream generator.
+//!
+//! Two invariants over arbitrary load/store/DMA interleavings:
+//!
+//! * **SWMR** (single writer or multiple readers): after every access, at
+//!   most one cache holds a line writable (Exclusive or Modified), and if
+//!   one does, every other cache holds that line Invalid.
+//! * **Data value**: the cache holding a line Modified is the cache of
+//!   the CPU that last stored to it (a shadow "last writer" map is the
+//!   oracle), and an inbound DMA write leaves no stale cached copies.
+
+use memories_bus::{Address, Geometry, LineAddr};
+use memories_host::{AccessKind, HostConfig, HostMachine, MesiState};
+use memories_verify::StreamGenerator;
+use std::collections::HashMap;
+
+const CPUS: usize = 4;
+
+fn machine() -> HostMachine {
+    // A tiny outer cache (16 KB, 2-way) over a 32-line pool forces
+    // constant evictions and re-fetches alongside the coherence traffic.
+    HostMachine::new(HostConfig {
+        num_cpus: CPUS,
+        inner_cache: None,
+        outer_cache: Geometry::new(16 << 10, 2, 128).unwrap(),
+        ..HostConfig::s7a()
+    })
+    .unwrap()
+}
+
+/// Every writable copy is exclusive across the machine.
+fn assert_swmr(machine: &HostMachine, context: &str) {
+    // Collect per-line states from every CPU's coherence-point cache.
+    let mut holders: HashMap<LineAddr, Vec<(usize, MesiState)>> = HashMap::new();
+    for cpu in 0..CPUS {
+        for (line, state) in machine.cpu(cpu).outer_cache().iter() {
+            if state != MesiState::Invalid {
+                holders.entry(line).or_default().push((cpu, state));
+            }
+        }
+    }
+    for (line, states) in holders {
+        let writable = states
+            .iter()
+            .filter(|(_, s)| matches!(s, MesiState::Exclusive | MesiState::Modified))
+            .count();
+        assert!(
+            writable <= 1,
+            "{context}: line {line:?} has {writable} writable holders: {states:?}"
+        );
+        if writable == 1 {
+            assert_eq!(
+                states.len(),
+                1,
+                "{context}: line {line:?} writable alongside other valid copies: {states:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn swmr_holds_under_random_access_streams() {
+    for seed in [1u64, 42, 2026] {
+        let mut machine = machine();
+        let mut gen = StreamGenerator::new(seed, CPUS as u8, 32);
+        for (i, acc) in gen.accesses(5_000).into_iter().enumerate() {
+            let kind = if acc.store {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
+            machine.access(acc.cpu, kind, Address::new(acc.addr));
+            // Checking every access is O(n * cache); sample densely early
+            // (cold-start transitions) and sparsely after.
+            if i < 200 || i % 97 == 0 {
+                assert_swmr(&machine, &format!("seed {seed}, access {i}"));
+            }
+        }
+        assert_swmr(&machine, &format!("seed {seed}, final"));
+    }
+}
+
+#[test]
+fn modified_lines_belong_to_the_last_writer() {
+    for seed in [7u64, 1999] {
+        let mut machine = machine();
+        let geometry = *machine.cpu(0).outer_cache().geometry();
+        let mut gen = StreamGenerator::new(seed, CPUS as u8, 32);
+        let mut last_writer: HashMap<LineAddr, usize> = HashMap::new();
+        for (i, acc) in gen.accesses(5_000).into_iter().enumerate() {
+            let addr = Address::new(acc.addr);
+            let line = geometry.line_addr(addr);
+            if acc.store {
+                machine.access(acc.cpu, AccessKind::Store, addr);
+                last_writer.insert(line, acc.cpu);
+            } else {
+                machine.access(acc.cpu, AccessKind::Load, addr);
+            }
+            // Whoever holds the line Modified must be the last storer.
+            for cpu in 0..CPUS {
+                if machine.cpu(cpu).outer_state(line) == MesiState::Modified {
+                    assert_eq!(
+                        last_writer.get(&line),
+                        Some(&cpu),
+                        "seed {seed}, access {i}: CPU {cpu} holds {line:?} dirty \
+                         but the last store came from {:?}",
+                        last_writer.get(&line)
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dma_writes_leave_no_stale_copies() {
+    let mut machine = machine();
+    let geometry = *machine.cpu(0).outer_cache().geometry();
+    let mut gen = StreamGenerator::new(11, CPUS as u8, 32);
+    for (i, acc) in gen.accesses(3_000).into_iter().enumerate() {
+        let kind = if acc.store {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        };
+        machine.access(acc.cpu, kind, Address::new(acc.addr));
+        // Every 50th access, DMA-write the same line the CPU just
+        // touched: the freshly cached copy is the stalest possible.
+        if i % 50 == 49 {
+            let addr = Address::new(acc.addr);
+            machine.dma_write(addr);
+            let line = geometry.line_addr(addr);
+            for cpu in 0..CPUS {
+                assert_eq!(
+                    machine.cpu(cpu).outer_state(line),
+                    MesiState::Invalid,
+                    "access {i}: CPU {cpu} kept a copy of {line:?} across a DMA write"
+                );
+            }
+        }
+    }
+}

@@ -222,6 +222,67 @@ fn sampling_leaves_final_counters_unchanged_and_exports_jsonl() {
 }
 
 #[test]
+fn adversarial_sampling_periods_are_bit_identical_across_shard_counts() {
+    // Sampling barriers at hostile periods: every admitted transaction
+    // (period 1), a tiny period that never aligns with anything (3), a
+    // prime that lands mid-batch at every batch size (997), and a period
+    // larger than the 512-transaction batch (5000). At each period the
+    // sampled series and the final statistics dump must agree exactly
+    // across 1, 2, 4, and 8 shards — a snapshot barrier is only correct
+    // if it drains in-flight batches no matter where it cuts them.
+    let make = oltp();
+    let refs = 12_000;
+    let plain = run(&*make, 1, refs);
+    for period in [1u64, 3, 997, 5000] {
+        let serial = run_monitored(&*make, 1, refs, Some(period));
+        assert_eq!(
+            plain.board.statistics_report(),
+            serial.result.board.statistics_report(),
+            "period {period}: sampling changed serial final counters"
+        );
+        assert!(
+            !serial.series.is_empty(),
+            "period {period}: serial run never sampled"
+        );
+        for shards in [2usize, 4, 8] {
+            let parallel = run_monitored(&*make, shards, refs, Some(period));
+            assert_eq!(
+                serial.result.board.statistics_report(),
+                parallel.result.board.statistics_report(),
+                "period {period}: {shards}-shard final counters diverged"
+            );
+            let s = serial.series.points();
+            let p = parallel.series.points();
+            assert_eq!(
+                s.len(),
+                p.len(),
+                "period {period}: {shards}-shard sample count diverged"
+            );
+            for (a, b) in s.iter().zip(p) {
+                assert_eq!(a.index, b.index, "period {period}, {shards} shards");
+                assert_eq!(a.cycle, b.cycle, "period {period}, {shards} shards");
+                assert_eq!(
+                    a.cumulative, b.cumulative,
+                    "period {period}, {shards} shards, sample {}",
+                    a.index
+                );
+                assert_eq!(
+                    a.window, b.window,
+                    "period {period}, {shards} shards, sample {}",
+                    a.index
+                );
+                assert_eq!(
+                    a.snapshot.admitted(),
+                    b.snapshot.admitted(),
+                    "period {period}, {shards} shards, sample {}",
+                    a.index
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn counter40_saturation_survives_exact_max_merge() {
     // Regression: a saturated shard part whose clamped value makes the
     // merged sum land exactly on Counter40::MAX used to lose the
