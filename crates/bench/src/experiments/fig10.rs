@@ -64,9 +64,14 @@ pub fn run(scale: Scale) -> Fig10 {
     )
     .unwrap();
 
+    // Profiling observes through snapshot barriers, so the two
+    // configurations can snoop on parallel shards (bit-identical to a
+    // serial profiled run — tests/parallel_differential.rs).
     let session = EmulationSession::builder()
         .host(scaled_host(256 << 10, 4))
         .board(board)
+        .parallelism(2)
+        .batch(512)
         .build()
         .unwrap();
     let mut workload = OltpWorkload::new(workload_config);

@@ -9,17 +9,20 @@
 //! * [`EmulationSession`] — the unified front door: one builder programs
 //!   the board (parameters, protocol map files, coherence domains) and
 //!   the host, then `.run(...)` drives a live workload — serially or
-//!   across parallel snoop shards — and `.replay(...)` re-runs a
-//!   captured trace. Errors unify under [`memories::Error`].
+//!   across parallel snoop shards — and `.replay(...)` /
+//!   `.replay_stream(...)` re-run a captured trace. Errors unify under
+//!   [`memories::Error`].
+//! * [`pipeline`] — the machinery underneath: every run mode is a
+//!   [`TransactionSource`] (live host drive, streaming trace replay, raw
+//!   transaction streams) flowing through a [`Pipeline`] whose optional
+//!   sampling/profiling stages observe via snapshot barriers into an
+//!   [`ExecutionBackend`](memories_sim::ExecutionBackend). Custom
+//!   sources and observation mixes compose through
+//!   [`EmulationSession::execute`].
 //! * [`ExperimentResult`] — the statistics extracted from a run
 //!   (including windowed miss-ratio profiles for the Figure 10 style
 //!   plots).
 //! * [`report`] — ASCII table and CSV rendering for the `repro` harness.
-//!
-//! The original split API — [`Console`] (board programming),
-//! [`Experiment`] (live runs), [`replay_trace`] (offline replay) — is
-//! deprecated but still works; everything forwards to the same
-//! machinery.
 //!
 //! # Examples
 //!
@@ -47,16 +50,17 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
-mod console;
+pub mod pipeline;
 pub mod report;
-mod runner;
+mod result;
 mod session;
 mod shared;
 
-#[allow(deprecated)]
-pub use console::{Console, ConsoleError};
-#[allow(deprecated)]
-pub use runner::{replay_trace, Experiment, ExperimentError, ExperimentResult, ProfilePoint};
+pub use pipeline::{
+    ChunkedTraceSource, ExecutionOptions, LiveSource, Pipeline, PipelineError, PipelineRun,
+    SourceStats, StreamSource, TraceSource, TransactionSource,
+};
+pub use result::{ExperimentResult, ProfilePoint};
 pub use session::{
     EmulationSession, EmulationSessionBuilder, MonitoredRun, ReplayResult, SessionError,
 };

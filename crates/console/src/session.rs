@@ -1,9 +1,7 @@
-//! The unified emulation session: one builder, one error type, serial or
-//! sharded execution.
+//! The unified emulation session: one builder, one error type, one
+//! execution pipeline — serial or sharded.
 //!
-//! [`EmulationSession`] replaces the trio of `Console` (board
-//! programming), `Experiment` (live runs), and `replay_trace` (offline
-//! replay) with a single front door:
+//! [`EmulationSession`] is the single front door to the board:
 //!
 //! ```
 //! use memories::CacheParams;
@@ -28,27 +26,43 @@
 //! # }
 //! ```
 //!
+//! Every public entry point — [`run`](EmulationSession::run),
+//! [`run_profiled`](EmulationSession::run_profiled),
+//! [`run_monitored`](EmulationSession::run_monitored),
+//! [`replay`](EmulationSession::replay),
+//! [`replay_monitored`](EmulationSession::replay_monitored),
+//! [`replay_stream`](EmulationSession::replay_stream) — is a thin
+//! composition over [`execute`](EmulationSession::execute): pick a
+//! [`TransactionSource`], pick the observation stages, drive the
+//! pipeline. Profiling and sampling act through snapshot barriers, so
+//! every mode works at any parallelism and produces bit-identical
+//! counters (see [`crate::pipeline`]).
+//!
 //! Every failure converts into the workspace-wide [`memories::Error`]
 //! (`enum Error` in the `memories` crate), so callers thread one error
 //! type end to end.
 
 use std::error::Error as StdError;
 use std::fmt;
+use std::io::Read;
 
 use memories::{
     BoardConfig, CacheParams, Error, FilterConfig, MemoriesBoard, NodeSlot, TimingConfig,
 };
-use memories_bus::{BusListener, ListenerReaction, NodeId, ProcId, Transaction};
-use memories_host::{AccessKind, HostConfig, HostMachine};
+use memories_bus::ProcId;
+use memories_host::{HostConfig, HostMachine};
 use memories_obs::{EngineTelemetry, TimeSeries};
 use memories_protocol::ProtocolTable;
-use memories_sim::{EmulationEngine, EngineConfig, MonitorReport};
+use memories_sim::{EmulationEngine, EngineConfig, ExecutionBackend, MonitorReport};
 use memories_trace::TraceRecord;
 use memories_verify::{verify_board, FuzzConfig, VerifyReport};
-use memories_workloads::{RefKind, Workload, WorkloadEvent};
+use memories_workloads::Workload;
 
-use crate::runner::ExperimentResult;
-use crate::shared::Shared;
+use crate::pipeline::{
+    ChunkedTraceSource, ExecutionOptions, LiveSource, Pipeline, PipelineRun, TraceSource,
+    TransactionSource,
+};
+use crate::result::ExperimentResult;
 
 /// Session-builder misuse, distinct from configuration validation (which
 /// the component crates report themselves).
@@ -225,7 +239,7 @@ impl EmulationSessionBuilder {
     }
 
     /// Enables live counter sampling for monitored runs: every `period`
-    /// admitted transactions the engine snapshots the board's counters
+    /// admitted transactions the pipeline snapshots the board's counters
     /// into the time series that
     /// [`run_monitored`](EmulationSession::run_monitored) /
     /// [`replay_monitored`](EmulationSession::replay_monitored) return.
@@ -320,11 +334,12 @@ pub struct MonitoredRun {
 /// A validated emulation setup, ready to run a live workload or replay a
 /// captured trace, serially or across parallel snoop shards.
 ///
-/// Built by [`EmulationSession::builder`]. With `parallelism(1)` (the
-/// default) execution matches the classic attached-listener path exactly;
-/// higher parallelism fans admitted transactions out to whole-domain
-/// [`memories::NodeShard`]s on worker threads and produces bit-identical
-/// counters (see [`EmulationEngine`]).
+/// Built by [`EmulationSession::builder`]. Every run mode flows through
+/// the same [`TransactionSource`] → [`Pipeline`] →
+/// [`ExecutionBackend`] path; profiling and sampling observe through
+/// snapshot barriers, so results are bit-identical at any
+/// [`parallelism`](EmulationSessionBuilder::parallelism) (see
+/// [`EmulationEngine`]).
 #[derive(Clone, Debug)]
 pub struct EmulationSession {
     host: Option<HostConfig>,
@@ -383,13 +398,52 @@ impl EmulationSession {
         verify_board(slots, config)
     }
 
+    /// The engine configuration this session's parallelism implies.
+    fn engine_config(&self) -> EngineConfig {
+        if self.parallelism <= 1 {
+            EngineConfig::serial()
+        } else {
+            EngineConfig::parallel(self.parallelism).with_batch(self.batch)
+        }
+    }
+
+    /// Drives an arbitrary [`TransactionSource`] through this session's
+    /// backend with the given observation stages — the primitive every
+    /// run/replay method composes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates source failures (host construction, trace decoding)
+    /// and any pipeline barrier/teardown failure.
+    pub fn execute<S: TransactionSource>(
+        &self,
+        mut source: S,
+        options: ExecutionOptions,
+    ) -> Result<PipelineRun, Error> {
+        let board = MemoriesBoard::new(self.board.clone())?;
+        let backend: Box<dyn ExecutionBackend> =
+            Box::new(EmulationEngine::new(board, self.engine_config()));
+        let (pipeline, stats) = source.drive(Pipeline::new(backend, &options))?;
+        pipeline.finish(stats)
+    }
+
+    /// Builds a live source for this session's host, or reports that the
+    /// builder never got one.
+    fn live_source<'w>(
+        &self,
+        workload: &'w mut dyn Workload,
+        refs: u64,
+    ) -> Result<LiveSource<'w>, Error> {
+        let host = self.host.clone().ok_or(SessionError::MissingHost)?;
+        Ok(LiveSource::new(host, workload, refs))
+    }
+
     /// Drives `refs` workload references through the host machine with
     /// the board snooping, and returns the collected statistics.
     ///
-    /// With parallelism above 1 the board's buffer-overflow retry cannot
-    /// feed back into the live bus (batching reports it after the fact);
-    /// healthy runs post zero retries (§3.3), and the retry *count* is
-    /// exact either way.
+    /// The board snoops through the pipeline, so its buffer-overflow
+    /// retry cannot feed back into the live bus; healthy runs post zero
+    /// retries (§3.3), and the retry *count* is exact either way.
     ///
     /// # Errors
     ///
@@ -401,8 +455,8 @@ impl EmulationSession {
 
     /// Like [`EmulationSession::run`], additionally sampling a per-window
     /// miss ratio every `window_refs` references (pass 0 for no profile).
-    /// Profiling reads node statistics mid-run, so it forces the serial
-    /// path regardless of configured parallelism.
+    /// Profiling observes through snapshot barriers, so it runs at the
+    /// configured parallelism — a profiled run is no longer serial.
     ///
     /// # Errors
     ///
@@ -413,107 +467,42 @@ impl EmulationSession {
         refs: u64,
         window_refs: u64,
     ) -> Result<ExperimentResult, Error> {
-        let host = self.host.clone().ok_or(SessionError::MissingHost)?;
-        if self.parallelism <= 1 || window_refs > 0 {
-            #[allow(deprecated)] // Experiment remains the serial engine room.
-            let experiment =
-                crate::runner::Experiment::new(host, self.board.clone()).map_err(Error::from)?;
-            return Ok(experiment.run_profiled(workload, refs, window_refs));
-        }
-
-        let mut machine = HostMachine::new(host).map_err(Error::host)?;
-        let board = MemoriesBoard::new(self.board.clone())?;
-        let engine = Shared::new(EmulationEngine::new(
-            board,
-            EngineConfig::parallel(self.parallelism).with_batch(self.batch),
-        ));
-        machine.attach_listener(Box::new(EngineFeed(engine.handle())));
-
-        drive(&mut machine, workload, refs);
-
-        let machine_stats = machine.stats();
-        let bus = machine.bus().stats().clone();
-        drop(machine.detach_listeners());
-        let engine = engine
-            .try_unwrap()
-            .map_err(|_| ())
-            .expect("session holds the last engine handle after detaching listeners");
-        let board = engine.finish()?;
-        Ok(ExperimentResult {
-            node_stats: (0..board.node_count())
-                .map(|i| board.node_stats(NodeId::new(i as u8)))
-                .collect(),
-            machine: machine_stats,
-            bus,
-            retries_posted: board.retries_posted(),
-            profile: Vec::new(),
-            board,
-        })
+        let source = self.live_source(workload, refs)?;
+        let run = self.execute(source, ExecutionOptions::new().window_refs(window_refs))?;
+        Ok(experiment_result(run))
     }
 
-    /// Like [`EmulationSession::run`], but through the monitored engine:
-    /// returns the usual statistics *plus* the live counter series
-    /// (sampled every [`sample_every`](EmulationSessionBuilder::sample_every)
-    /// admitted transactions — the board console's "watch the counters
-    /// while it runs" mode) and the engine's own telemetry.
+    /// Like [`EmulationSession::run`], but also returns the live counter
+    /// series (sampled every
+    /// [`sample_every`](EmulationSessionBuilder::sample_every) admitted
+    /// transactions — the board console's "watch the counters while it
+    /// runs" mode) and the engine's own telemetry.
     ///
-    /// Runs the engine for any parallelism (serial included). With
-    /// sampling disabled the engine takes no barriers, so the final
-    /// counters are bit-identical to [`EmulationSession::run`]; with
-    /// sampling enabled they still are, because barrier-induced batch
-    /// boundaries don't change results (see [`EmulationEngine`]).
+    /// With sampling disabled the pipeline takes no barriers, so the
+    /// final counters are bit-identical to [`EmulationSession::run`];
+    /// with sampling enabled they still are, because barrier-induced
+    /// batch boundaries don't change results (see [`EmulationEngine`]).
     ///
     /// # Errors
     ///
-    /// As [`EmulationSession::run`], plus any engine sampling failure.
+    /// As [`EmulationSession::run`], plus any sampling-barrier failure.
     pub fn run_monitored(
         &self,
         workload: &mut dyn Workload,
         refs: u64,
     ) -> Result<MonitoredRun, Error> {
-        let host = self.host.clone().ok_or(SessionError::MissingHost)?;
-        let mut machine = HostMachine::new(host).map_err(Error::host)?;
-        let board = MemoriesBoard::new(self.board.clone())?;
-        let mut raw = EmulationEngine::new(board, self.engine_config());
-        if let Some(period) = self.sample_every {
-            raw.sample_every(period);
-        }
-        let engine = Shared::new(raw);
-        machine.attach_listener(Box::new(EngineFeed(engine.handle())));
-
-        drive(&mut machine, workload, refs);
-
-        let machine_stats = machine.stats();
-        let bus = machine.bus().stats().clone();
-        drop(machine.detach_listeners());
-        let engine = engine
-            .try_unwrap()
-            .map_err(|_| ())
-            .expect("session holds the last engine handle after detaching listeners");
-        let (board, MonitorReport { series, telemetry }) = engine.finish_monitored()?;
+        let source = self.live_source(workload, refs)?;
+        let mut run = self.execute(
+            source,
+            ExecutionOptions::new().sample_every(self.sample_every),
+        )?;
+        let series = std::mem::take(&mut run.series);
+        let telemetry = std::mem::take(&mut run.telemetry);
         Ok(MonitoredRun {
-            result: ExperimentResult {
-                node_stats: (0..board.node_count())
-                    .map(|i| board.node_stats(NodeId::new(i as u8)))
-                    .collect(),
-                machine: machine_stats,
-                bus,
-                retries_posted: board.retries_posted(),
-                profile: Vec::new(),
-                board,
-            },
             series,
             telemetry,
+            result: experiment_result(run),
         })
-    }
-
-    /// The engine configuration this session's parallelism implies.
-    fn engine_config(&self) -> EngineConfig {
-        if self.parallelism <= 1 {
-            EngineConfig::serial()
-        } else {
-            EngineConfig::parallel(self.parallelism).with_batch(self.batch)
-        }
     }
 
     /// Replays captured trace records through a fresh board offline — the
@@ -530,17 +519,13 @@ impl EmulationSession {
         I: IntoIterator<Item = Result<TraceRecord, E>>,
         E: Into<Error>,
     {
-        let board = MemoriesBoard::new(self.board.clone())?;
-        let mut engine = EmulationEngine::new(board, self.engine_config());
-        let mut n = 0u64;
-        for rec in records {
-            let rec = rec.map_err(Into::into)?;
-            engine.feed(&rec.to_transaction(n, n * cycle_spacing));
-            n += 1;
-        }
+        let run = self.execute(
+            TraceSource::new(records, cycle_spacing),
+            ExecutionOptions::new(),
+        )?;
         Ok(ReplayResult {
-            board: engine.finish()?,
-            records: n,
+            board: run.board,
+            records: run.units,
         })
     }
 
@@ -551,7 +536,8 @@ impl EmulationSession {
     ///
     /// # Errors
     ///
-    /// As [`EmulationSession::replay`], plus any engine sampling failure.
+    /// As [`EmulationSession::replay`], plus any sampling-barrier
+    /// failure.
     pub fn replay_monitored<I, E>(
         &self,
         records: I,
@@ -561,67 +547,74 @@ impl EmulationSession {
         I: IntoIterator<Item = Result<TraceRecord, E>>,
         E: Into<Error>,
     {
-        let board = MemoriesBoard::new(self.board.clone())?;
-        let mut engine = EmulationEngine::new(board, self.engine_config());
-        if let Some(period) = self.sample_every {
-            engine.sample_every(period);
-        }
-        let mut n = 0u64;
-        for rec in records {
-            let rec = rec.map_err(Into::into)?;
-            engine.feed(&rec.to_transaction(n, n * cycle_spacing));
-            n += 1;
-        }
-        let (board, report) = engine.finish_monitored()?;
-        Ok((ReplayResult { board, records: n }, report))
+        let run = self.execute(
+            TraceSource::new(records, cycle_spacing),
+            ExecutionOptions::new().sample_every(self.sample_every),
+        )?;
+        Ok((
+            ReplayResult {
+                board: run.board,
+                records: run.units,
+            },
+            MonitorReport {
+                series: run.series,
+                telemetry: run.telemetry,
+            },
+        ))
+    }
+
+    /// Replays a trace *stream* — any [`Read`] positioned at a trace
+    /// file header — decoding records in fixed-size chunks, so peak
+    /// memory stays O(chunk) no matter how long the trace is. This is
+    /// the path for traces that don't fit in memory (the board can
+    /// capture a billion references — §2.3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates header validation and record decoding errors; a
+    /// truncated or corrupt trace fails cleanly without panicking.
+    pub fn replay_stream<R: Read>(
+        &self,
+        reader: R,
+        cycle_spacing: u64,
+    ) -> Result<ReplayResult, Error> {
+        let run = self.execute(
+            ChunkedTraceSource::new(reader, cycle_spacing)?,
+            ExecutionOptions::new(),
+        )?;
+        Ok(ReplayResult {
+            board: run.board,
+            records: run.units,
+        })
     }
 }
 
-/// Pumps `refs` workload references through the host machine (plus any
-/// interleaved instruction ticks and DMA the workload emits).
-fn drive(machine: &mut HostMachine, workload: &mut dyn Workload, refs: u64) {
-    let mut done: u64 = 0;
-    while done < refs {
-        match workload.next_event() {
-            WorkloadEvent::Ref(r) => {
-                let kind = match r.kind {
-                    RefKind::Load => AccessKind::Load,
-                    RefKind::Store => AccessKind::Store,
-                };
-                machine.access(r.cpu, kind, r.addr);
-                done += 1;
-            }
-            WorkloadEvent::Instructions { cpu, count } => {
-                machine.tick_instructions(cpu, count);
-            }
-            WorkloadEvent::Dma { write, addr } => {
-                if write {
-                    machine.dma_write(addr);
-                } else {
-                    machine.dma_read(addr);
-                }
-            }
-        }
-    }
-}
-
-/// Adapts the engine to the bus-listener interface for live runs: every
-/// transaction is fed to the producer side; the reaction is always
-/// `Proceed` (batched snooping cannot retry the live bus).
-struct EngineFeed(Shared<EmulationEngine>);
-
-impl BusListener for EngineFeed {
-    fn on_transaction(&mut self, txn: &Transaction) -> ListenerReaction {
-        self.0.with_mut(|e| e.feed(txn));
-        ListenerReaction::Proceed
+/// Converts a live-source pipeline run into the classic result shape.
+///
+/// # Panics
+///
+/// Panics if the run did not come from a live source (no machine/bus
+/// statistics).
+fn experiment_result(run: PipelineRun) -> ExperimentResult {
+    ExperimentResult {
+        node_stats: run.node_stats,
+        machine: run.machine.expect("live sources report machine statistics"),
+        bus: run.bus.expect("live sources report bus statistics"),
+        retries_posted: run.retries_posted,
+        profile: run.profile,
+        board: run.board,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shared::Shared;
+    use memories_bus::NodeId;
+    use memories_host::AccessKind;
     use memories_protocol::standard;
-    use memories_workloads::micro::UniformRandom;
+    use memories_workloads::micro::{Sequential, UniformRandom};
+    use memories_workloads::{RefKind, WorkloadEvent};
 
     fn params(capacity: u64) -> CacheParams {
         CacheParams::builder()
@@ -672,14 +665,37 @@ mod tests {
         assert!(err.to_string().contains("host machine"), "{err}");
     }
 
+    /// The pipeline path must reproduce the classic hand-rolled harness
+    /// (board attached straight to the bus) bit for bit.
     #[test]
-    #[allow(deprecated)]
-    fn session_run_matches_the_classic_experiment() {
+    fn session_run_matches_a_directly_attached_board() {
         let cfg = BoardConfig::single_node(params(1 << 20), (0..2).map(ProcId::new)).unwrap();
+
+        // Classic path: board as a plain bus listener, pumped by hand.
+        let board = Shared::new(MemoriesBoard::new(cfg.clone()).unwrap());
+        let mut machine = HostMachine::new(host(2)).unwrap();
+        machine.attach_listener(Box::new(board.handle()));
         let mut w1 = UniformRandom::new(2, 16 << 20, 0.3, 5);
-        let classic = crate::runner::Experiment::new(host(2), cfg)
-            .unwrap()
-            .run(&mut w1, 20_000);
+        let mut done = 0;
+        while done < 20_000 {
+            match w1.next_event() {
+                WorkloadEvent::Ref(r) => {
+                    let kind = match r.kind {
+                        RefKind::Load => AccessKind::Load,
+                        RefKind::Store => AccessKind::Store,
+                    };
+                    machine.access(r.cpu, kind, r.addr);
+                    done += 1;
+                }
+                WorkloadEvent::Instructions { cpu, count } => {
+                    machine.tick_instructions(cpu, count);
+                }
+                _ => {}
+            }
+        }
+        let classic_loads = machine.stats().total_loads();
+        drop(machine.detach_listeners());
+        let classic = board.try_unwrap().map_err(|_| ()).unwrap();
 
         let session = EmulationSession::builder()
             .host(host(2))
@@ -689,12 +705,113 @@ mod tests {
         let mut w2 = UniformRandom::new(2, 16 << 20, 0.3, 5);
         let new = session.run(&mut w2, 20_000).unwrap();
 
-        assert_eq!(classic.retries_posted, new.retries_posted);
+        assert_eq!(classic.retries_posted(), new.retries_posted);
+        assert_eq!(classic.statistics_report(), new.board.statistics_report());
+        assert_eq!(classic_loads, new.machine.total_loads());
+    }
+
+    #[test]
+    fn run_collects_consistent_statistics() {
+        let session = EmulationSession::builder()
+            .host(host(2))
+            .node(params(1 << 20))
+            .build()
+            .unwrap();
+        let mut w = UniformRandom::new(2, 16 << 20, 0.3, 5);
+        let result = session.run(&mut w, 20_000).unwrap();
         assert_eq!(
-            classic.board.statistics_report(),
-            new.board.statistics_report()
+            result.machine.total_loads() + result.machine.total_stores(),
+            20_000
         );
-        assert_eq!(classic.machine.total_loads(), new.machine.total_loads());
+        // The board sees exactly the machine's L2 miss/upgrade traffic.
+        let demand = result.node_stats[0].demand_references();
+        let expected = result.machine.outer_misses() + result.machine.total().upgrades;
+        assert_eq!(demand, expected);
+        assert_eq!(result.retries_posted, 0);
+        assert!(result.bus.utilization() > 0.0);
+    }
+
+    #[test]
+    fn profile_windows_cover_the_run() {
+        let session = EmulationSession::builder()
+            .host(host(2))
+            .node(params(1 << 20))
+            .build()
+            .unwrap();
+        let mut w = UniformRandom::new(2, 16 << 20, 0.3, 6);
+        let result = session.run_profiled(&mut w, 10_000, 2_000).unwrap();
+        assert_eq!(result.profile.len(), 5);
+        assert_eq!(result.profile.last().unwrap().end_ref, 10_000);
+        for p in &result.profile {
+            assert_eq!(p.window_miss_ratio.len(), 1);
+            assert!((0.0..=1.0).contains(&p.window_miss_ratio[0]));
+        }
+        // Bus cycles increase monotonically across windows.
+        for w in result.profile.windows(2) {
+            assert!(w[1].bus_cycle >= w[0].bus_cycle);
+        }
+    }
+
+    /// Profiled runs no longer force the serial path: the telemetry
+    /// proves the shards actually ran, and the windows are identical to
+    /// the serial profile.
+    #[test]
+    fn profiled_runs_use_the_configured_parallelism() {
+        let configs = vec![params(1 << 20), params(2 << 20)];
+        let cpus: Vec<ProcId> = (0..2).map(ProcId::new).collect();
+        let board = BoardConfig::parallel_configs(configs, cpus).unwrap();
+
+        let profile_at = |parallelism: usize| {
+            let session = EmulationSession::builder()
+                .host(host(2))
+                .board(board.clone())
+                .parallelism(parallelism)
+                .batch(256)
+                .build()
+                .unwrap();
+            let mut w = UniformRandom::new(2, 16 << 20, 0.3, 7);
+            let source = session.live_source(&mut w, 12_000).unwrap();
+            let run = session
+                .execute(source, ExecutionOptions::new().window_refs(3_000))
+                .unwrap();
+            assert_eq!(run.profile.len(), 4);
+            run
+        };
+
+        let serial = profile_at(1);
+        assert!(serial.telemetry.shards.is_empty());
+        let parallel = profile_at(2);
+        assert_eq!(
+            parallel.telemetry.shards.len(),
+            2,
+            "profiled run must keep its shards"
+        );
+        assert_eq!(serial.profile, parallel.profile);
+        assert_eq!(
+            serial.board.statistics_report(),
+            parallel.board.statistics_report()
+        );
+    }
+
+    #[test]
+    fn sequential_workload_hits_after_warmup() {
+        let session = EmulationSession::builder()
+            .host(host(2))
+            .node(params(1 << 20))
+            .build()
+            .unwrap();
+        // Footprint 128 KB per cpu fits the 1 MB emulated cache: after the
+        // first lap everything hits (in the *emulated* cache; the host L2
+        // keeps missing since 64 KB < footprint).
+        let mut w = Sequential::new(2, 128 << 10, 128);
+        let result = session.run(&mut w, 8_000).unwrap();
+        let stats = &result.node_stats[0];
+        assert!(stats.demand_references() > 2_000);
+        assert!(
+            stats.hit_ratio() > 0.4,
+            "emulated hit ratio {:.3} too low after warmup",
+            stats.hit_ratio()
+        );
     }
 
     #[test]
@@ -825,5 +942,69 @@ mod tests {
                 );
             });
         }
+    }
+
+    /// `replay_stream` decodes off the reader in chunks and lands on the
+    /// same board as the buffered `replay`; damaged streams error out
+    /// cleanly and leave the session reusable.
+    #[test]
+    fn replay_stream_matches_replay_and_survives_damage() {
+        use memories_trace::{TraceError, TraceWriter};
+
+        let cfg = BoardConfig::single_node(params(64 << 10), (0..2).map(ProcId::new)).unwrap();
+        let session = EmulationSession::builder()
+            .board(cfg)
+            .parallelism(2)
+            .batch(128)
+            .build()
+            .unwrap();
+
+        let records: Vec<TraceRecord> = (0..4_000)
+            .map(|i| {
+                TraceRecord::from_transaction(&memories_bus::Transaction::new(
+                    i,
+                    i * 60,
+                    ProcId::new((i % 2) as u8),
+                    memories_bus::BusOp::Read,
+                    memories_bus::Address::new((i % 512) * 128),
+                    memories_bus::SnoopResponse::Null,
+                ))
+            })
+            .collect();
+        let mut bytes = Vec::new();
+        let mut w = TraceWriter::new(&mut bytes).unwrap();
+        for r in &records {
+            w.write_record(r).unwrap();
+        }
+        w.finish().unwrap();
+
+        let buffered = session
+            .replay(records.into_iter().map(Ok::<_, Error>), 60)
+            .unwrap();
+        let streamed = session.replay_stream(bytes.as_slice(), 60).unwrap();
+        assert_eq!(streamed.records, 4_000);
+        assert_eq!(
+            buffered.board.statistics_report(),
+            streamed.board.statistics_report()
+        );
+
+        // Truncated mid-record: error, not panic.
+        let err = session
+            .replay_stream(&bytes[..bytes.len() - 3], 60)
+            .unwrap_err();
+        assert!(
+            matches!(&err, Error::Trace(TraceError::TruncatedRecord { .. })),
+            "{err:?}"
+        );
+        // Corrupt header: rejected before any record flows.
+        let err = session.replay_stream(&b"JUNKJUNK"[..], 60).unwrap_err();
+        assert!(
+            matches!(&err, Error::Trace(TraceError::BadMagic { .. })),
+            "{err:?}"
+        );
+        // The session itself is stateless across calls: a good replay
+        // still works after the failures.
+        let again = session.replay_stream(bytes.as_slice(), 60).unwrap();
+        assert_eq!(again.records, 4_000);
     }
 }

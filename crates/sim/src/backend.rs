@@ -1,0 +1,198 @@
+//! The execution half of the unified pipeline: anything that can consume
+//! a bus-transaction stream and hand back a finished board.
+//!
+//! The board has exactly one ingest path — every 6xx transaction flows
+//! through the same snoop/filter/update pipeline regardless of what the
+//! console is doing (§3, §4). [`ExecutionBackend`] is that path as a
+//! trait: a [`TransactionSource`] (live host drive, streaming trace
+//! replay, synthetic generators — see `memories-console`) pushes
+//! transactions into a backend, and optional pipeline stages (counter
+//! sampling, windowed miss-ratio profiling) act through
+//! [`ExecutionBackend::barrier`], which every backend implements as an
+//! exact snapshot of the stream position so far. Because the barrier is
+//! the *only* mid-run observation primitive, every stage works at any
+//! parallelism — a profiled run no longer has anything serial about it.
+//!
+//! Two implementations ship here:
+//!
+//! * [`MemoriesBoard`] — the serial board itself; `barrier` is
+//!   [`MemoriesBoard::snapshot`].
+//! * [`EmulationEngine`] — serial or sharded-parallel; `barrier` is a
+//!   snapshot barrier (flush the partial batch, collect per-shard counter
+//!   reports, merge overflow masks).
+//!
+//! Both produce bit-identical counters for the same stream, which the
+//! `memories-verify` differential fuzzer cross-checks continuously.
+
+use memories::{BoardSnapshot, Error, MemoriesBoard};
+use memories_bus::{BusListener as _, Transaction};
+use memories_obs::EngineTelemetry;
+
+use crate::engine::EmulationEngine;
+
+/// A consumer of one bus-transaction stream.
+///
+/// Feed transactions in stream order with [`feed`](Self::feed); observe
+/// the exact mid-stream state with [`barrier`](Self::barrier); call
+/// [`finish`](Self::finish) to get the board (and the backend's own
+/// telemetry) back. Implementations must guarantee that `barrier` and
+/// `finish` reflect precisely the transactions fed so far — the
+/// bit-identity contract the differential suite enforces.
+pub trait ExecutionBackend {
+    /// Feeds one bus transaction, in stream order.
+    fn feed(&mut self, txn: &Transaction);
+
+    /// Transactions the address filter has admitted so far — the x-axis
+    /// of "sample every N admitted transactions".
+    fn admitted(&self) -> u64;
+
+    /// Number of independent snoop units (1 for serial backends).
+    fn shard_count(&self) -> usize;
+
+    /// Takes an exact counter snapshot of the stream position so far.
+    ///
+    /// For parallel backends this is a snapshot barrier: any buffered
+    /// work is flushed and per-shard reports are merged, so the result is
+    /// bit-identical to what a serial board would show at the same
+    /// position.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific; the sharded engine reports diverged shard
+    /// overflow-mask lists (retry accounting can no longer be trusted).
+    fn barrier(&mut self) -> Result<BoardSnapshot, Error>;
+
+    /// Flushes everything, tears the backend down, and returns the final
+    /// board plus the backend's own performance telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific; see [`EmulationEngine::finish`].
+    fn finish(self: Box<Self>) -> Result<(MemoriesBoard, EngineTelemetry), Error>;
+}
+
+impl ExecutionBackend for MemoriesBoard {
+    fn feed(&mut self, txn: &Transaction) {
+        self.on_transaction(txn);
+    }
+
+    fn admitted(&self) -> u64 {
+        self.filter().stats().forwarded
+    }
+
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    fn barrier(&mut self) -> Result<BoardSnapshot, Error> {
+        Ok(self.snapshot())
+    }
+
+    fn finish(self: Box<Self>) -> Result<(MemoriesBoard, EngineTelemetry), Error> {
+        let stats = *self.filter().stats();
+        let telemetry = EngineTelemetry {
+            seen: stats.seen,
+            admitted: stats.forwarded,
+            ..EngineTelemetry::default()
+        };
+        Ok((*self, telemetry))
+    }
+}
+
+impl ExecutionBackend for EmulationEngine {
+    fn feed(&mut self, txn: &Transaction) {
+        EmulationEngine::feed(self, txn);
+    }
+
+    fn admitted(&self) -> u64 {
+        EmulationEngine::admitted(self)
+    }
+
+    fn shard_count(&self) -> usize {
+        EmulationEngine::shard_count(self)
+    }
+
+    fn barrier(&mut self) -> Result<BoardSnapshot, Error> {
+        EmulationEngine::barrier(self)
+    }
+
+    fn finish(self: Box<Self>) -> Result<(MemoriesBoard, EngineTelemetry), Error> {
+        let (board, report) = EmulationEngine::finish_monitored(*self)?;
+        Ok((board, report.telemetry))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use memories::{BoardConfig, CacheParams};
+    use memories_bus::{Address, BusOp, ProcId, SnoopResponse};
+
+    fn board() -> MemoriesBoard {
+        let params = CacheParams::builder()
+            .capacity(16 << 10)
+            .ways(2)
+            .line_size(128)
+            .allow_scaled_down()
+            .build()
+            .unwrap();
+        let cfg =
+            BoardConfig::parallel_configs(vec![params, params], (0..8).map(ProcId::new).collect())
+                .unwrap();
+        MemoriesBoard::new(cfg).unwrap()
+    }
+
+    fn txn(i: u64) -> Transaction {
+        Transaction::new(
+            i,
+            i * 60,
+            ProcId::new((i % 8) as u8),
+            if i.is_multiple_of(3) {
+                BusOp::Rwitm
+            } else {
+                BusOp::Read
+            },
+            Address::new((i % 32) * 128),
+            SnoopResponse::Null,
+        )
+    }
+
+    /// Every backend, driven through the trait alone, must agree with the
+    /// plain serial board bit for bit — mid-stream and at the end.
+    #[test]
+    fn backends_agree_through_the_trait() {
+        let mut reference = board();
+        for i in 0..2_000 {
+            reference.on_transaction(&txn(i));
+        }
+        let want = reference.snapshot();
+
+        let backends: Vec<Box<dyn ExecutionBackend>> = vec![
+            Box::new(board()),
+            Box::new(EmulationEngine::new(board(), EngineConfig::serial())),
+            Box::new(EmulationEngine::new(
+                board(),
+                EngineConfig::parallel(2).with_batch(128),
+            )),
+        ];
+        for mut backend in backends {
+            for i in 0..1_000 {
+                backend.feed(&txn(i));
+            }
+            let mid = backend.barrier().unwrap();
+            assert!(mid.admitted() <= want.admitted());
+            for i in 1_000..2_000 {
+                backend.feed(&txn(i));
+            }
+            let shards = backend.shard_count();
+            let (final_board, telemetry) = backend.finish().unwrap();
+            assert_eq!(
+                final_board.statistics_report(),
+                reference.statistics_report(),
+                "backend with {shards} shards diverged"
+            );
+            assert_eq!(telemetry.admitted, want.admitted());
+        }
+    }
+}

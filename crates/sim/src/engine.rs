@@ -381,6 +381,22 @@ impl EmulationEngine {
         Ok(snap)
     }
 
+    /// Takes a counter snapshot *without* recording it into the sample
+    /// series — the raw snapshot-barrier primitive pipeline stages build
+    /// on (windowed profiling, external samplers). Identical guarantees
+    /// to [`EmulationEngine::sample_now`].
+    ///
+    /// # Errors
+    ///
+    /// As [`EmulationEngine::sample_now`].
+    ///
+    /// # Panics
+    ///
+    /// Propagates a worker thread's panic.
+    pub fn barrier(&mut self) -> Result<BoardSnapshot, Error> {
+        self.take_snapshot()
+    }
+
     /// The snapshot barrier itself (no series recording).
     fn take_snapshot(&mut self) -> Result<BoardSnapshot, Error> {
         self.snapshots += 1;

@@ -26,11 +26,16 @@
 //! snapshot barriers every N admitted transactions and return a
 //! [`MonitorReport`] (live counter series + engine telemetry, both from
 //! `memories-obs`).
+//!
+//! [`ExecutionBackend`] abstracts over the serial board and the engine
+//! as one stream consumer — the execution half of the console's
+//! `TransactionSource → ExecutionBackend` pipeline (DESIGN.md §8).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod augmint;
+mod backend;
 mod compare;
 mod csim;
 mod engine;
@@ -38,6 +43,7 @@ mod multinode;
 mod timing;
 
 pub use augmint::AugmintModel;
+pub use backend::ExecutionBackend;
 pub use compare::{compare_counts, CompareReport};
 pub use csim::{CacheSim, SimCounts};
 pub use engine::{EmulationEngine, EngineConfig, EngineMode, MonitorReport};

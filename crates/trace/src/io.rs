@@ -99,11 +99,19 @@ impl<W: Write> Drop for TraceWriter<W> {
 /// Implements [`Iterator`] over `Result<TraceRecord, TraceError>`; a
 /// truncated final record surfaces as [`TraceError::TruncatedRecord`].
 /// Pass `&mut reader` if you need the underlying reader afterwards.
+///
+/// For bulk replay, [`TraceReader::read_chunk`] decodes records in
+/// fixed-size batches into a caller-owned buffer, so a trace of any
+/// length streams at O(chunk) peak memory — no whole-trace `Vec` is ever
+/// materialized.
 #[derive(Debug)]
 pub struct TraceReader<R: Read> {
     inner: BufReader<R>,
     read: u64,
     fused: bool,
+    /// Reusable byte scratch for [`TraceReader::read_chunk`]; grows to
+    /// one chunk's worth of encoded records and stays there.
+    scratch: Vec<u8>,
 }
 
 impl<R: Read> TraceReader<R> {
@@ -132,12 +140,76 @@ impl<R: Read> TraceReader<R> {
             inner,
             read: 0,
             fused: false,
+            scratch: Vec::new(),
         })
     }
 
     /// Number of records successfully read so far.
     pub fn records_read(&self) -> u64 {
         self.read
+    }
+
+    /// Decodes up to `max` records into `out` (which is cleared first),
+    /// returning how many were decoded. `Ok(0)` means a clean end of
+    /// stream. Repeated calls with the same buffer stream a trace of any
+    /// length at O(`max`) peak memory: the only allocations are `out` and
+    /// an internal byte scratch, both of one chunk's size.
+    ///
+    /// Errors fuse the reader exactly like the [`Iterator`]
+    /// implementation: after an `Err`, subsequent calls return `Ok(0)`.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::TruncatedRecord`] if the stream ends mid-record,
+    /// [`TraceError::Corrupt`] for an undecodable record, or an
+    /// underlying I/O error. Records decoded before the failure are left
+    /// in `out` (and counted by [`TraceReader::records_read`]), so a
+    /// caller that tolerates truncated tails can still use the prefix.
+    pub fn read_chunk(
+        &mut self,
+        out: &mut Vec<TraceRecord>,
+        max: usize,
+    ) -> Result<usize, TraceError> {
+        out.clear();
+        if self.fused || max == 0 {
+            return Ok(0);
+        }
+        let want = max.saturating_mul(8);
+        self.scratch.resize(want, 0);
+        let mut filled = 0;
+        while filled < want {
+            match self.inner.read(&mut self.scratch[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.fused = true;
+                    return Err(TraceError::Io(e));
+                }
+            }
+        }
+        for word_bytes in self.scratch[..filled - filled % 8].chunks_exact(8) {
+            let word = u64::from_le_bytes(word_bytes.try_into().expect("8-byte chunk"));
+            let idx = self.read;
+            match TraceRecord::decode(word, idx) {
+                Ok(rec) => {
+                    self.read += 1;
+                    out.push(rec);
+                }
+                Err(e) => {
+                    self.fused = true;
+                    return Err(e);
+                }
+            }
+        }
+        if filled % 8 != 0 {
+            self.fused = true;
+            return Err(TraceError::TruncatedRecord { record: self.read });
+        }
+        if filled == 0 {
+            self.fused = true;
+        }
+        Ok(out.len())
     }
 }
 
@@ -267,6 +339,84 @@ mod tests {
         assert!(reader.next().unwrap().is_err());
         assert!(reader.next().is_none());
         assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn chunked_reads_stream_the_whole_trace_at_chunk_memory() {
+        // A trace much larger than the chunk buffer: every record comes
+        // back, in order, and the buffer never grows past the chunk size.
+        let recs = records(10_000);
+        let buf = write_all(&recs);
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        let mut chunk = Vec::new();
+        let mut back = Vec::new();
+        let mut chunks = 0;
+        loop {
+            let n = reader.read_chunk(&mut chunk, 256).unwrap();
+            if n == 0 {
+                break;
+            }
+            assert!(chunk.len() <= 256, "chunk overgrew: {}", chunk.len());
+            assert!(chunk.capacity() <= 512, "peak buffer is not O(chunk)");
+            back.extend_from_slice(&chunk);
+            chunks += 1;
+        }
+        assert_eq!(back, recs);
+        assert_eq!(chunks, 10_000usize.div_ceil(256));
+        assert_eq!(reader.records_read(), 10_000);
+        // A fused reader keeps returning a clean end of stream.
+        assert_eq!(reader.read_chunk(&mut chunk, 256).unwrap(), 0);
+    }
+
+    #[test]
+    fn chunked_read_reports_truncation_and_keeps_the_prefix() {
+        let mut buf = write_all(&records(70));
+        buf.truncate(buf.len() - 5); // record 69 loses its tail
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        let mut chunk = Vec::new();
+        assert_eq!(reader.read_chunk(&mut chunk, 64).unwrap(), 64);
+        let err = reader.read_chunk(&mut chunk, 64).unwrap_err();
+        assert!(matches!(err, TraceError::TruncatedRecord { record: 69 }));
+        // The decodable prefix of the failing chunk is still delivered.
+        assert_eq!(chunk.len(), 5);
+        assert_eq!(reader.records_read(), 69);
+        // Fused after the error.
+        assert_eq!(reader.read_chunk(&mut chunk, 64).unwrap(), 0);
+    }
+
+    #[test]
+    fn chunked_read_handles_empty_trace_and_corrupt_header() {
+        let buf = write_all(&[]);
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        let mut chunk = Vec::new();
+        assert_eq!(reader.read_chunk(&mut chunk, 16).unwrap(), 0);
+
+        // Header corruption is caught at construction, before any chunk.
+        assert!(matches!(
+            TraceReader::new(&b"MIESx"[..]),
+            Err(TraceError::Io(_)) // header itself truncated
+        ));
+        assert!(matches!(
+            TraceReader::new(&b"JUNKJUNK"[..]),
+            Err(TraceError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn chunked_read_rejects_corrupt_records_mid_stream() {
+        let mut buf = write_all(&records(10));
+        // Stamp an invalid op nibble into record 4 (the little-endian
+        // word's top byte holds bits 56..64, so the op nibble is 0xf).
+        buf[8 + 4 * 8 + 7] = 0xf0;
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        let mut chunk = Vec::new();
+        let err = reader.read_chunk(&mut chunk, 64).unwrap_err();
+        assert!(
+            matches!(err, TraceError::Corrupt { record: 4, .. }),
+            "{err}"
+        );
+        assert_eq!(chunk.len(), 4, "records before the corruption survive");
+        assert_eq!(reader.read_chunk(&mut chunk, 64).unwrap(), 0);
     }
 
     #[test]

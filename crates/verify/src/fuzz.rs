@@ -1,13 +1,16 @@
 //! Coverage-guided differential fuzzing across the three engines.
 //!
-//! Every generated transaction stream is replayed through four
+//! Every generated transaction stream is replayed through five
 //! implementations of the same semantics:
 //!
 //! 1. the reference model ([`MultiNodeSim`], untimed, per-line hash maps),
 //! 2. the serial [`MemoriesBoard`] via a serial [`EmulationEngine`],
 //! 3. the parallel [`EmulationEngine`] at each configured shard count,
-//!    with mid-stream snapshot barriers at fixed record indices, and
-//! 4. for single-node all-local topologies, the trace-driven [`CacheSim`].
+//!    with mid-stream snapshot barriers at fixed record indices,
+//! 4. the streaming-replay path: the stream round-trips through the
+//!    on-disk trace codec ([`TraceWriter`] →
+//!    [`TraceReader::read_chunk`]) and replays chunk by chunk, and
+//! 5. for single-node all-local topologies, the trace-driven [`CacheSim`].
 //!
 //! Any counter or snapshot divergence fails the stream, which is then
 //! shrunk (chunk-removal delta debugging) to a minimal counterexample and
@@ -27,7 +30,7 @@ use memories::{
 use memories_bus::{BusOp, ProcId};
 use memories_protocol::ProtocolTable;
 use memories_sim::{compare_counts, CacheSim, EmulationEngine, EngineConfig, MultiNodeSim};
-use memories_trace::TraceRecord;
+use memories_trace::{TraceReader, TraceRecord, TraceWriter};
 
 use crate::corpus;
 use crate::coverage::Coverage;
@@ -228,6 +231,38 @@ impl DifferentialFuzzer {
         })
     }
 
+    /// Round-trips `records` through the on-disk trace codec and replays
+    /// the decoded stream chunk by chunk through a serial engine — the
+    /// streaming-replay implementation. A small odd chunk size makes
+    /// every non-trivial stream span several chunks with a partial last
+    /// one, so the chunked reader's re-batching is actually exercised.
+    fn run_streamed(&self, records: &[TraceRecord]) -> Result<BoardSnapshot, Error> {
+        let mut bytes = Vec::with_capacity(8 + records.len() * 8);
+        let mut writer = TraceWriter::new(&mut bytes)?;
+        for rec in records {
+            writer.write_record(rec)?;
+        }
+        writer.finish()?;
+
+        let board = MemoriesBoard::new(self.board_config()?)?;
+        let mut engine =
+            EmulationEngine::new(board, EngineConfig::serial().with_batch(self.config.batch));
+        let mut reader = TraceReader::new(bytes.as_slice())?;
+        let mut chunk = Vec::new();
+        let mut n = 0u64;
+        loop {
+            let got = reader.read_chunk(&mut chunk, 113)?;
+            if got == 0 {
+                break;
+            }
+            for rec in &chunk {
+                engine.feed(&rec.to_transaction(n, n * self.config.cycle_spacing));
+                n += 1;
+            }
+        }
+        Ok(engine.finish()?.snapshot())
+    }
+
     /// Replays one stream through every implementation. Returns the
     /// coverage it produced and the first divergence found, if any.
     pub fn execute(&self, records: &[TraceRecord]) -> Result<(Coverage, Option<String>), Error> {
@@ -273,6 +308,17 @@ impl DifferentialFuzzer {
                     return Ok((cov, Some(format!("serial board vs CacheSim: {report}"))));
                 }
             }
+        }
+
+        // Streaming replay (codec round-trip + chunked decode) vs serial:
+        // the trace file format and the in-memory stream must be the same
+        // stream.
+        let streamed = self.run_streamed(records)?;
+        if let Some(why) = snapshot_diff(&serial.final_snap, &streamed) {
+            return Ok((
+                cov,
+                Some(format!("serial engine vs streaming replay: {why}")),
+            ));
         }
 
         // Parallel engines vs serial: mid-stream barriers and final state.

@@ -283,6 +283,187 @@ fn adversarial_sampling_periods_are_bit_identical_across_shard_counts() {
 }
 
 #[test]
+fn profiled_windows_are_bit_identical_across_shard_counts() {
+    // Windowed miss-ratio profiling used to force the serial path; it now
+    // observes through snapshot barriers. The proof: at every shard count
+    // the profile — every window boundary, bus cycle, and per-node ratio
+    // — must equal the serial profile point for point, and the final
+    // statistics dump must be untouched by the mid-run barriers.
+    let make = oltp();
+    let refs = 24_000;
+    let window = 4_000;
+    let run_profiled = |shards: usize| {
+        let session = EmulationSession::builder()
+            .host(host())
+            .board(board())
+            .parallelism(shards)
+            .batch(512)
+            .build()
+            .unwrap();
+        let mut workload = make();
+        session.run_profiled(&mut *workload, refs, window).unwrap()
+    };
+
+    let plain = run(&*make, 1, refs);
+    let serial = run_profiled(1);
+    assert_eq!(
+        plain.board.statistics_report(),
+        serial.board.statistics_report(),
+        "profiling barriers changed the serial final counters"
+    );
+    assert_eq!(serial.profile.len(), (refs / window) as usize);
+    assert_eq!(serial.profile.last().unwrap().end_ref, refs);
+    for point in &serial.profile {
+        assert_eq!(point.window_miss_ratio.len(), 4, "one ratio per node");
+    }
+
+    for shards in [2usize, 4, 8] {
+        let parallel = run_profiled(shards);
+        assert_eq!(
+            serial.profile, parallel.profile,
+            "{shards}-shard profile diverged from serial"
+        );
+        assert_eq!(
+            serial.board.statistics_report(),
+            parallel.board.statistics_report(),
+            "{shards}-shard profiled run diverged from serial"
+        );
+    }
+}
+
+/// Deterministic synthetic trace over the 8-CPU board topology: enough
+/// sharing and writes to exercise every node's snoop path.
+fn synthetic_records(n: u64) -> Vec<memories_trace::TraceRecord> {
+    (0..n)
+        .map(|i| {
+            let op = match i % 7 {
+                0 | 3 => BusOp::Rwitm,
+                5 => BusOp::DClaim,
+                _ => BusOp::Read,
+            };
+            memories_trace::TraceRecord::from_transaction(&Transaction::new(
+                i,
+                i * 60,
+                ProcId::new((i % 8) as u8),
+                op,
+                Address::new((i % 4096) * 128),
+                SnoopResponse::Null,
+            ))
+        })
+        .collect()
+}
+
+#[test]
+fn replay_is_bit_identical_across_shard_counts() {
+    let records = synthetic_records(20_000);
+    let replay_at = |shards: usize| {
+        let session = EmulationSession::builder()
+            .board(board())
+            .parallelism(shards)
+            .batch(512)
+            .build()
+            .unwrap();
+        session
+            .replay(records.iter().copied().map(Ok::<_, memories::Error>), 60)
+            .unwrap()
+    };
+
+    let serial = replay_at(1);
+    assert_eq!(serial.records, 20_000);
+    for shards in [2usize, 4, 8] {
+        let parallel = replay_at(shards);
+        assert_eq!(serial.records, parallel.records);
+        assert_eq!(
+            serial.board.statistics_report(),
+            parallel.board.statistics_report(),
+            "{shards}-shard replay diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn replay_monitored_series_is_bit_identical_across_shard_counts() {
+    let records = synthetic_records(20_000);
+    let replay_at = |shards: usize| {
+        let session = EmulationSession::builder()
+            .board(board())
+            .parallelism(shards)
+            .batch(512)
+            .sample_every(997)
+            .build()
+            .unwrap();
+        session
+            .replay_monitored(records.iter().copied().map(Ok::<_, memories::Error>), 60)
+            .unwrap()
+    };
+
+    let (serial, serial_report) = replay_at(1);
+    assert!(!serial_report.series.is_empty());
+    for shards in [2usize, 4, 8] {
+        let (parallel, parallel_report) = replay_at(shards);
+        assert_eq!(
+            serial.board.statistics_report(),
+            parallel.board.statistics_report(),
+            "{shards}-shard monitored replay diverged from serial"
+        );
+        let s = serial_report.series.points();
+        let p = parallel_report.series.points();
+        assert_eq!(s.len(), p.len(), "{shards}-shard sample count diverged");
+        for (a, b) in s.iter().zip(p) {
+            assert_eq!(
+                a.cumulative, b.cumulative,
+                "{shards} shards, sample {}",
+                a.index
+            );
+            assert_eq!(a.window, b.window, "{shards} shards, sample {}", a.index);
+        }
+    }
+}
+
+#[test]
+fn streaming_replay_holds_a_trace_larger_than_every_buffer() {
+    // 40_000 records ≫ the session's 512-transaction batch and the
+    // streaming reader's 4096-record chunk, so the trace can never fit
+    // any single buffer in the pipeline: the whole-trace Vec simply does
+    // not exist on this path (the reader's own unit tests pin the
+    // O(chunk) allocation bound). The decoded stream must land on the
+    // same board as the Vec-buffered replay, at any parallelism.
+    use memories_trace::TraceWriter;
+
+    let records = synthetic_records(40_000);
+    let mut bytes = Vec::new();
+    let mut writer = TraceWriter::new(&mut bytes).unwrap();
+    for rec in &records {
+        writer.write_record(rec).unwrap();
+    }
+    writer.finish().unwrap();
+
+    let buffered = EmulationSession::builder()
+        .board(board())
+        .parallelism(1)
+        .build()
+        .unwrap()
+        .replay(records.iter().copied().map(Ok::<_, memories::Error>), 60)
+        .unwrap();
+
+    for shards in [1usize, 4] {
+        let session = EmulationSession::builder()
+            .board(board())
+            .parallelism(shards)
+            .batch(512)
+            .build()
+            .unwrap();
+        let streamed = session.replay_stream(bytes.as_slice(), 60).unwrap();
+        assert_eq!(streamed.records, 40_000);
+        assert_eq!(
+            buffered.board.statistics_report(),
+            streamed.board.statistics_report(),
+            "{shards}-shard streaming replay diverged from buffered serial"
+        );
+    }
+}
+
+#[test]
 fn counter40_saturation_survives_exact_max_merge() {
     // Regression: a saturated shard part whose clamped value makes the
     // merged sum land exactly on Counter40::MAX used to lose the
