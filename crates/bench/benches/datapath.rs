@@ -1,0 +1,340 @@
+//! Batch-native data path: block delivery vs. per-transaction dispatch
+//! on every stage of the stream — serial engine, sharded engine, live
+//! host runs (alternating vs. pipelined producer), and block-native
+//! streaming replay.
+//!
+//! Besides the Criterion measurements, the custom `main` emits
+//! `BENCH_datapath.json` (references per second for each path, plus the
+//! block/per-txn ratios) for the CI artifact, and enforces the smoke
+//! gate: the block path must not be slower than the per-transaction
+//! baseline it replaced.
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use memories::{BoardConfig, CacheParams, MemoriesBoard};
+use memories_bus::{Address, BlockPool, BusOp, ProcId, SnoopResponse, Transaction};
+use memories_console::EmulationSession;
+use memories_host::HostConfig;
+use memories_sim::{EmulationEngine, EngineConfig};
+use memories_trace::{TraceRecord, TraceWriter};
+use memories_workloads::{OltpConfig, OltpWorkload};
+
+/// Transactions per engine-path measurement.
+const STREAM_LEN: usize = 200_000;
+/// Workload references per live-path measurement.
+const LIVE_REFS: u64 = 60_000;
+/// Transactions handed over per block on the block paths.
+const BLOCK: usize = 4096;
+/// Bus-cycle spacing of the synthetic stream (~20% utilization).
+const CYCLE_SPACING: u64 = 60;
+
+fn params(capacity: u64) -> CacheParams {
+    CacheParams::builder()
+        .capacity(capacity)
+        .ways(4)
+        .line_size(128)
+        .allow_scaled_down()
+        .build()
+        .expect("valid bench parameters")
+}
+
+/// The 4-config sweep board (same shape as the board_parallel bench).
+fn sweep_board() -> BoardConfig {
+    BoardConfig::parallel_configs(
+        vec![
+            params(2 << 20),
+            params(8 << 20),
+            params(32 << 20),
+            params(128 << 20),
+        ],
+        (0..8).map(ProcId::new).collect(),
+    )
+    .expect("valid 4-config board")
+}
+
+fn host() -> HostConfig {
+    HostConfig {
+        num_cpus: 8,
+        inner_cache: None,
+        outer_cache: memories_bus::Geometry::new(128 << 10, 4, 128).expect("valid host cache"),
+        ..HostConfig::s7a()
+    }
+}
+
+fn oltp() -> OltpWorkload {
+    OltpWorkload::new(OltpConfig {
+        journal: None,
+        ..OltpConfig::scaled_default()
+    })
+}
+
+/// Deterministic synthetic stream with sharing and writes across all
+/// eight CPUs, so every node's snoop path runs.
+fn stream() -> Vec<Transaction> {
+    (0..STREAM_LEN as u64)
+        .map(|i| {
+            let op = match i % 7 {
+                0 | 3 => BusOp::Rwitm,
+                5 => BusOp::DClaim,
+                _ => BusOp::Read,
+            };
+            Transaction::new(
+                i,
+                i * CYCLE_SPACING,
+                ProcId::new((i % 8) as u8),
+                op,
+                Address::new((i % 4096) * 128),
+                SnoopResponse::Null,
+            )
+        })
+        .collect()
+}
+
+fn engine(shards: usize) -> EmulationEngine {
+    let cfg = if shards <= 1 {
+        EngineConfig::serial()
+    } else {
+        EngineConfig::parallel(shards).with_batch(512)
+    };
+    EmulationEngine::new(MemoriesBoard::new(sweep_board()).expect("valid board"), cfg)
+}
+
+/// Per-transaction dispatch through the engine.
+fn run_per_txn(shards: usize, txns: &[Transaction]) -> u64 {
+    let mut e = engine(shards);
+    for t in txns {
+        e.feed(t);
+    }
+    let admitted = e.admitted();
+    e.finish().expect("engine finishes");
+    admitted
+}
+
+/// Block dispatch through the engine (borrowed slices).
+fn run_blocks(shards: usize, txns: &[Transaction]) -> u64 {
+    let mut e = engine(shards);
+    for chunk in txns.chunks(BLOCK) {
+        e.feed_block(chunk);
+    }
+    let admitted = e.admitted();
+    e.finish().expect("engine finishes");
+    admitted
+}
+
+/// Zero-copy pooled-block dispatch through the engine.
+fn run_pooled(shards: usize, txns: &[Transaction]) -> u64 {
+    let pool = BlockPool::new(BLOCK);
+    let mut e = engine(shards);
+    for chunk in txns.chunks(BLOCK) {
+        let mut block = pool.take();
+        for t in chunk {
+            block.push(*t);
+        }
+        e.feed_pooled(block);
+    }
+    let admitted = e.admitted();
+    e.finish().expect("engine finishes");
+    admitted
+}
+
+fn session(parallelism: usize) -> EmulationSession {
+    EmulationSession::builder()
+        .host(host())
+        .board(sweep_board())
+        .parallelism(parallelism)
+        .batch(512)
+        .build()
+        .expect("valid session")
+}
+
+/// Live run, alternating host simulation and board emulation.
+fn run_live_alternating(parallelism: usize) -> u64 {
+    let mut w = oltp();
+    let result = session(parallelism)
+        .run(&mut w, LIVE_REFS)
+        .expect("live run succeeds");
+    result.machine.total_loads() + result.machine.total_stores()
+}
+
+/// Live run with the pipelined host producer.
+fn run_live_pipelined(parallelism: usize) -> u64 {
+    let mut w = oltp();
+    let result = session(parallelism)
+        .run_pipelined(&mut w, LIVE_REFS)
+        .expect("pipelined run succeeds");
+    result.machine.total_loads() + result.machine.total_stores()
+}
+
+/// Encoded synthetic trace for the replay path.
+fn trace_bytes(txns: &[Transaction]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut writer = TraceWriter::new(&mut out).expect("in-memory trace");
+    for t in txns {
+        writer
+            .write_record(&TraceRecord::from_transaction(t))
+            .expect("record encodes");
+    }
+    writer.finish().expect("trace flushes");
+    out
+}
+
+/// Block-native streaming replay.
+fn run_replay(bytes: &[u8]) -> u64 {
+    EmulationSession::builder()
+        .board(sweep_board())
+        .build()
+        .expect("valid session")
+        .replay_stream(bytes, CYCLE_SPACING)
+        .expect("replay succeeds")
+        .records
+}
+
+fn bench_datapath(c: &mut Criterion) {
+    let txns = stream();
+    let mut group = c.benchmark_group("datapath");
+    group.throughput(Throughput::Elements(STREAM_LEN as u64));
+    for shards in [1usize, 2] {
+        group.bench_function(BenchmarkId::new("per_txn", shards), |b| {
+            b.iter(|| black_box(run_per_txn(shards, &txns)));
+        });
+        group.bench_function(BenchmarkId::new("block", shards), |b| {
+            b.iter(|| black_box(run_blocks(shards, &txns)));
+        });
+        group.bench_function(BenchmarkId::new("pooled", shards), |b| {
+            b.iter(|| black_box(run_pooled(shards, &txns)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_datapath
+}
+
+/// Best-of-`n` wall time of one measurement.
+fn best_of(n: usize, mut run: impl FnMut() -> u64) -> Duration {
+    (0..n)
+        .map(|_| {
+            let start = Instant::now();
+            assert!(black_box(run()) > 0, "measurement produced nothing");
+            start.elapsed()
+        })
+        .min()
+        .expect("at least one sample")
+}
+
+struct Measurement {
+    name: &'static str,
+    units: u64,
+    secs: f64,
+}
+
+impl Measurement {
+    fn rate(&self) -> f64 {
+        self.units as f64 / self.secs
+    }
+}
+
+fn main() {
+    benches();
+
+    let txns = stream();
+    let bytes = trace_bytes(&txns);
+    let measurements = [
+        Measurement {
+            name: "serial_per_txn",
+            units: STREAM_LEN as u64,
+            secs: best_of(5, || run_per_txn(1, &txns)).as_secs_f64(),
+        },
+        Measurement {
+            name: "serial_block",
+            units: STREAM_LEN as u64,
+            secs: best_of(5, || run_blocks(1, &txns)).as_secs_f64(),
+        },
+        Measurement {
+            name: "parallel_per_txn",
+            units: STREAM_LEN as u64,
+            secs: best_of(5, || run_per_txn(2, &txns)).as_secs_f64(),
+        },
+        Measurement {
+            name: "parallel_pooled",
+            units: STREAM_LEN as u64,
+            secs: best_of(5, || run_pooled(2, &txns)).as_secs_f64(),
+        },
+        Measurement {
+            name: "live_alternating",
+            units: LIVE_REFS,
+            secs: best_of(3, || run_live_alternating(2)).as_secs_f64(),
+        },
+        Measurement {
+            name: "live_pipelined",
+            units: LIVE_REFS,
+            secs: best_of(3, || run_live_pipelined(2)).as_secs_f64(),
+        },
+        Measurement {
+            name: "replay_stream",
+            units: STREAM_LEN as u64,
+            secs: best_of(5, || run_replay(&bytes)).as_secs_f64(),
+        },
+    ];
+
+    let secs_of = |name: &str| {
+        measurements
+            .iter()
+            .find(|m| m.name == name)
+            .expect("measurement exists")
+            .secs
+    };
+    let serial_ratio = secs_of("serial_block") / secs_of("serial_per_txn");
+    let parallel_ratio = secs_of("parallel_pooled") / secs_of("parallel_per_txn");
+    let live_ratio = secs_of("live_pipelined") / secs_of("live_alternating");
+
+    let mut json = String::from("{\n  \"bench\": \"datapath\",\n  \"paths\": {\n");
+    for (i, m) in measurements.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{\"units\": {}, \"secs\": {:.6}, \"refs_per_sec\": {:.0}}}{}\n",
+            m.name,
+            m.units,
+            m.secs,
+            m.rate(),
+            if i + 1 < measurements.len() { "," } else { "" },
+        ));
+    }
+    json.push_str(&format!(
+        "  }},\n  \"ratios\": {{\n    \"serial_block_vs_per_txn\": {serial_ratio:.4},\n    \
+         \"parallel_pooled_vs_per_txn\": {parallel_ratio:.4},\n    \
+         \"live_pipelined_vs_alternating\": {live_ratio:.4}\n  }}\n}}\n"
+    ));
+    std::fs::write("BENCH_datapath.json", &json).expect("BENCH_datapath.json written");
+
+    for m in &measurements {
+        println!(
+            "datapath {}: {:.3}s for {} units ({:.0} refs/sec)",
+            m.name,
+            m.secs,
+            m.units,
+            m.rate()
+        );
+    }
+    println!(
+        "datapath gate: serial block/per_txn = {serial_ratio:.3}, \
+         parallel pooled/per_txn = {parallel_ratio:.3}, \
+         live pipelined/alternating = {live_ratio:.3}"
+    );
+
+    // The CI smoke gate: the block path replaced per-transaction
+    // dispatch, so it must not be slower than it (10% headroom for
+    // scheduler noise).
+    assert!(
+        serial_ratio <= 1.10,
+        "serial block path regressed: {serial_ratio:.3}x per-txn (gate: 1.10x)"
+    );
+    assert!(
+        parallel_ratio <= 1.10,
+        "parallel pooled path regressed: {parallel_ratio:.3}x per-txn (gate: 1.10x)"
+    );
+}

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use crate::addr::{Address, ProcId};
+use crate::block::{BlockPool, PooledBlock, TransactionBlock};
 use crate::op::BusOp;
 use crate::stats::BusStats;
 use crate::transaction::{SnoopResponse, Transaction};
@@ -74,17 +75,46 @@ pub enum ListenerReaction {
 pub trait BusListener {
     /// Called for every transaction placed on the bus, in order.
     fn on_transaction(&mut self, txn: &Transaction) -> ListenerReaction;
+
+    /// Called with a whole block of transactions, in stream order, when
+    /// the bus (or another block-native producer) delivers batched.
+    ///
+    /// The default implementation folds
+    /// [`on_transaction`](Self::on_transaction) over the block —
+    /// [`ListenerReaction::Retry`]
+    /// if any transaction asked for one — so existing listeners keep
+    /// working unchanged. Block-native listeners override this to consume
+    /// the whole slice at once; the reaction necessarily arrives after the
+    /// fact (§3.3 passivity: the board never retried in practice, and
+    /// batched delivery institutionalises that).
+    fn on_block(&mut self, block: &TransactionBlock) -> ListenerReaction {
+        let mut reaction = ListenerReaction::Proceed;
+        for txn in block.as_slice() {
+            if self.on_transaction(txn) == ListenerReaction::Retry {
+                reaction = ListenerReaction::Retry;
+            }
+        }
+        reaction
+    }
 }
 
 impl<L: BusListener + ?Sized> BusListener for Box<L> {
     fn on_transaction(&mut self, txn: &Transaction) -> ListenerReaction {
         (**self).on_transaction(txn)
     }
+
+    fn on_block(&mut self, block: &TransactionBlock) -> ListenerReaction {
+        (**self).on_block(block)
+    }
 }
 
 impl<L: BusListener + ?Sized> BusListener for &mut L {
     fn on_transaction(&mut self, txn: &Transaction) -> ListenerReaction {
         (**self).on_transaction(txn)
+    }
+
+    fn on_block(&mut self, block: &TransactionBlock) -> ListenerReaction {
+        (**self).on_block(block)
     }
 }
 
@@ -112,6 +142,15 @@ pub struct SystemBus {
     next_seq: u64,
     stats: BusStats,
     listeners: Vec<Box<dyn BusListener>>,
+    batcher: Option<Batcher>,
+}
+
+/// Batched-delivery state: transactions accumulate in a pooled block and
+/// listeners see them via [`BusListener::on_block`] when it fills. The
+/// same block is reused after every delivery, so steady-state batched
+/// delivery performs no allocation at all.
+struct Batcher {
+    block: PooledBlock,
 }
 
 impl SystemBus {
@@ -122,6 +161,7 @@ impl SystemBus {
             next_seq: 0,
             stats: BusStats::default(),
             listeners: Vec::new(),
+            batcher: None,
         }
     }
 
@@ -137,8 +177,46 @@ impl SystemBus {
     }
 
     /// Detaches and returns all listeners (e.g. to read their statistics).
+    ///
+    /// Any batched transactions still buffered are flushed to the
+    /// listeners first, so none are lost.
     pub fn detach_all(&mut self) -> Vec<Box<dyn BusListener>> {
+        self.flush_block();
         std::mem::take(&mut self.listeners)
+    }
+
+    /// Switches the bus to batched listener delivery: subsequent
+    /// transactions accumulate in blocks from `pool` and reach listeners
+    /// through [`BusListener::on_block`] whenever a block fills (and on
+    /// [`flush_block`](Self::flush_block) / [`detach_all`](Self::detach_all)).
+    ///
+    /// In batched mode a listener's reaction arrives after the
+    /// transactions have completed, so [`transact`](Self::transact) can no
+    /// longer upgrade an individual response to retry — the §3.3 caveat:
+    /// the board is passive in healthy operation, and callers that need
+    /// live retry feedback must stay on per-transaction delivery.
+    pub fn deliver_batched(&mut self, pool: BlockPool) {
+        let block = pool.take();
+        self.batcher = Some(Batcher { block });
+    }
+
+    /// Delivers any buffered partial block to the listeners now.
+    ///
+    /// Returns the combined reaction ([`ListenerReaction::Retry`] if any
+    /// listener asked for one); `Proceed` when nothing was buffered.
+    pub fn flush_block(&mut self) -> ListenerReaction {
+        let mut reaction = ListenerReaction::Proceed;
+        if let Some(batcher) = self.batcher.as_mut() {
+            if !batcher.block.is_empty() {
+                for listener in &mut self.listeners {
+                    if listener.on_block(&batcher.block) == ListenerReaction::Retry {
+                        reaction = ListenerReaction::Retry;
+                    }
+                }
+                batcher.block.clear();
+            }
+        }
+        reaction
     }
 
     /// Number of attached listeners.
@@ -153,6 +231,10 @@ impl SystemBus {
     /// observe the transaction; if any listener asks for a retry, the
     /// returned transaction's response is upgraded to
     /// [`SnoopResponse::Retry`] and the caller is expected to re-issue.
+    ///
+    /// Under [`deliver_batched`](Self::deliver_batched) the transaction
+    /// instead lands in the current block (delivered when full) and the
+    /// response is returned as resolved — listeners cannot upgrade it.
     pub fn transact(
         &mut self,
         proc: ProcId,
@@ -163,6 +245,16 @@ impl SystemBus {
         let cost = self.config.transaction_cycles(op);
         let mut txn = Transaction::new(self.next_seq, self.current_cycle(), proc, op, addr, resp);
         self.next_seq += 1;
+
+        if let Some(batcher) = self.batcher.as_mut() {
+            batcher.block.push(txn);
+            let full = batcher.block.is_full();
+            self.stats.record(op, txn.resp, cost);
+            if full {
+                self.flush_block();
+            }
+            return txn;
+        }
 
         let mut retry = false;
         for listener in &mut self.listeners {
@@ -234,6 +326,29 @@ mod tests {
         }
     }
 
+    /// Records the sequence numbers it saw and how many block deliveries
+    /// carried them, via the default `on_block` fallback.
+    #[derive(Default)]
+    struct SeqRecorder {
+        seqs: std::rc::Rc<std::cell::RefCell<Vec<u64>>>,
+        blocks: std::rc::Rc<std::cell::RefCell<u64>>,
+    }
+
+    impl BusListener for SeqRecorder {
+        fn on_transaction(&mut self, txn: &Transaction) -> ListenerReaction {
+            self.seqs.borrow_mut().push(txn.seq);
+            ListenerReaction::Proceed
+        }
+
+        fn on_block(&mut self, block: &TransactionBlock) -> ListenerReaction {
+            *self.blocks.borrow_mut() += 1;
+            for txn in block {
+                self.seqs.borrow_mut().push(txn.seq);
+            }
+            ListenerReaction::Proceed
+        }
+    }
+
     #[test]
     fn transaction_costs() {
         let cfg = BusConfig::default();
@@ -302,6 +417,64 @@ mod tests {
         );
         assert_eq!(second.resp, SnoopResponse::Retry);
         assert_eq!(bus.stats().retries, 1);
+    }
+
+    #[test]
+    fn default_on_block_folds_on_transaction() {
+        struct RetrySecond {
+            seen: u64,
+        }
+        impl BusListener for RetrySecond {
+            fn on_transaction(&mut self, _txn: &Transaction) -> ListenerReaction {
+                self.seen += 1;
+                if self.seen == 2 {
+                    ListenerReaction::Retry
+                } else {
+                    ListenerReaction::Proceed
+                }
+            }
+        }
+        let pool = BlockPool::new(4);
+        let mut block = pool.take();
+        for i in 0..3u64 {
+            block.push(Transaction::new(
+                i,
+                i,
+                ProcId::new(0),
+                BusOp::Read,
+                Address::new(i * 128),
+                SnoopResponse::Null,
+            ));
+        }
+        let mut listener = RetrySecond { seen: 0 };
+        assert_eq!(listener.on_block(&block), ListenerReaction::Retry);
+        assert_eq!(listener.seen, 3);
+    }
+
+    #[test]
+    fn batched_delivery_preserves_order_and_loses_nothing() {
+        let recorder = SeqRecorder::default();
+        let seqs = recorder.seqs.clone();
+        let blocks = recorder.blocks.clone();
+
+        let mut bus = SystemBus::default();
+        bus.attach(Box::new(recorder));
+        bus.deliver_batched(BlockPool::new(4));
+        for i in 0..10u64 {
+            bus.transact(
+                ProcId::new(1),
+                BusOp::Read,
+                Address::new(i * 128),
+                SnoopResponse::Null,
+            );
+        }
+        // 10 transactions, blocks of 4: two full deliveries so far.
+        assert_eq!(*blocks.borrow(), 2);
+        // The partial tail is flushed on detach.
+        bus.detach_all();
+        assert_eq!(*blocks.borrow(), 3);
+        assert_eq!(*seqs.borrow(), (0..10).collect::<Vec<_>>());
+        assert_eq!(bus.stats().transactions, 10);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 mod addr;
+mod block;
 mod bus;
 mod error;
 pub mod interposer;
@@ -37,6 +38,7 @@ mod stats;
 mod transaction;
 
 pub use addr::{Address, Geometry, LineAddr, NodeId, ProcId};
+pub use block::{BlockPool, PoolStats, PooledBlock, TransactionBlock};
 pub use bus::{BusConfig, BusListener, ListenerReaction, SystemBus};
 pub use error::GeometryError;
 pub use op::{BusOp, OpClass};

@@ -58,7 +58,7 @@ mod shared;
 
 pub use pipeline::{
     ChunkedTraceSource, ExecutionOptions, LiveSource, Pipeline, PipelineError, PipelineRun,
-    SourceStats, StreamSource, TraceSource, TransactionSource,
+    PipelinedLiveSource, ProducerStats, SourceStats, StreamSource, TraceSource, TransactionSource,
 };
 pub use result::{ExperimentResult, ProfilePoint};
 pub use session::{

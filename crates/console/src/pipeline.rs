@@ -31,9 +31,13 @@
 use std::error::Error as StdError;
 use std::fmt;
 use std::io::Read;
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 
 use memories::{BoardSnapshot, Error, MemoriesBoard, NodeStats};
-use memories_bus::{BusListener, BusStats, ListenerReaction, NodeId, Transaction};
+use memories_bus::{
+    BlockPool, BusListener, BusStats, ListenerReaction, NodeId, PoolStats, PooledBlock,
+    Transaction, TransactionBlock,
+};
 use memories_host::{AccessKind, HostConfig, HostMachine, MachineStats};
 use memories_obs::{EngineTelemetry, TimeSeries};
 use memories_sim::ExecutionBackend;
@@ -125,6 +129,22 @@ pub struct SourceStats {
     pub machine: Option<MachineStats>,
     /// Host bus statistics (live sources only).
     pub bus: Option<BusStats>,
+    /// Producer-stage counters (pipelined sources only); folded into the
+    /// run's [`EngineTelemetry`] by [`Pipeline::finish`].
+    pub producer: Option<ProducerStats>,
+}
+
+/// What a pipelined producer stage counted while running ahead of the
+/// consumer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProducerStats {
+    /// Blocks the producer shipped over the bounded queue.
+    pub blocks: u64,
+    /// Times the producer found the block queue full and had to block —
+    /// the pipelined counterpart of the engine's `producer_stalls`.
+    pub stalls: u64,
+    /// The producer-side block pool's allocation counters.
+    pub pool: PoolStats,
 }
 
 /// Everything a finished pipeline hands back.
@@ -263,18 +283,76 @@ impl Pipeline {
             .as_ref()
             .is_some_and(|s| self.backend.admitted() >= s.next_at);
         if due {
-            match self.backend.barrier() {
-                Ok(snap) => {
-                    let s = self.sampler.as_mut().expect("sampler checked above");
-                    s.series.record(snap);
-                    s.next_at = self.backend.admitted() + s.period;
-                }
-                Err(e) => {
-                    self.deferred.get_or_insert(e);
-                    self.sampler = None; // don't repeat the failure
-                }
+            self.take_sample();
+        }
+    }
+
+    /// Takes the armed sample: barrier, record, re-arm. On barrier
+    /// failure the error is parked and the sampler disabled (don't
+    /// repeat the failure).
+    fn take_sample(&mut self) {
+        match self.backend.barrier() {
+            Ok(snap) => {
+                let admitted = self.backend.admitted();
+                let s = self.sampler.as_mut().expect("sampler armed by caller");
+                s.series.record(snap);
+                s.next_at = admitted + s.period;
+            }
+            Err(e) => {
+                self.deferred.get_or_insert(e);
+                self.sampler = None;
             }
         }
+    }
+
+    /// Feeds a whole block of transactions, in stream order.
+    ///
+    /// Bit-identical to calling [`feed`](Self::feed) once per
+    /// transaction: when the sampling stage is armed, the block is fed
+    /// in sub-slices sized to the next sample position (admitted count
+    /// grows by at most one per transaction, so every sample lands at
+    /// exactly the position the per-transaction path would have picked).
+    /// Without a sampler the whole block goes to the backend in one
+    /// dispatch.
+    pub fn feed_block(&mut self, txns: &[Transaction]) {
+        let mut rest = txns;
+        while !rest.is_empty() {
+            let Some(next_at) = self.sampler.as_ref().map(|s| s.next_at) else {
+                self.backend.feed_block(rest);
+                return;
+            };
+            let admitted = self.backend.admitted();
+            if admitted >= next_at {
+                self.take_sample();
+                continue;
+            }
+            let need = usize::try_from(next_at - admitted).unwrap_or(usize::MAX);
+            let k = need.min(rest.len());
+            self.backend.feed_block(&rest[..k]);
+            rest = &rest[k..];
+            if self.backend.admitted() >= next_at {
+                self.take_sample();
+            }
+        }
+    }
+
+    /// Feeds an already-pooled block, handing the buffer itself to the
+    /// backend when no sampling stage needs to split it (the zero-copy
+    /// fast path).
+    pub fn feed_pooled(&mut self, block: PooledBlock) {
+        if self.sampler.is_some() {
+            self.feed_block(block.as_slice());
+        } else {
+            self.backend.feed_pooled(block);
+        }
+    }
+
+    /// Whether any stage needs per-unit [`end_unit`](Self::end_unit)
+    /// boundaries (the windowed profiler does). Sources that can batch
+    /// check this to decide between the block path and the exact
+    /// per-unit path.
+    pub fn wants_unit_boundaries(&self) -> bool {
+        self.profiler.is_some()
     }
 
     /// Marks the end of one source unit (a workload reference, a trace
@@ -315,7 +393,19 @@ impl Pipeline {
         if let Some(e) = self.deferred {
             return Err(e);
         }
-        let (board, telemetry) = self.backend.finish()?;
+        let (board, mut telemetry) = self.backend.finish()?;
+        if let Some(p) = stats.producer {
+            // In a pipelined run the *source* is the producer stage: its
+            // queue stalls take the producer_stalls slot, and the
+            // engine's own worker-queue backpressure (what the feed loop
+            // would have absorbed in an alternating run) moves to
+            // consumer_stalls.
+            telemetry.consumer_stalls = telemetry.producer_stalls;
+            telemetry.producer_stalls = p.stalls;
+            telemetry.producer_blocks = p.blocks;
+            telemetry.pool_hits += p.pool.hits;
+            telemetry.pool_allocs += p.pool.fresh;
+        }
         Ok(PipelineRun {
             node_stats: (0..board.node_count())
                 .map(|i| board.node_stats(NodeId::new(i as u8)))
@@ -360,6 +450,11 @@ impl BusListener for PipelineFeed {
         self.0.with_mut(|p| p.feed(txn));
         ListenerReaction::Proceed
     }
+
+    fn on_block(&mut self, block: &TransactionBlock) -> ListenerReaction {
+        self.0.with_mut(|p| p.feed_block(block.as_slice()));
+        ListenerReaction::Proceed
+    }
 }
 
 /// A live source: builds the host machine, snoops its bus into the
@@ -375,6 +470,9 @@ pub struct LiveSource<'w> {
 }
 
 impl<'w> LiveSource<'w> {
+    /// Block capacity for batched bus delivery on unprofiled runs.
+    pub const BLOCK_CAPACITY: usize = 4096;
+
     /// A source driving `refs` references of `workload` through a host
     /// built from `host`.
     pub fn new(host: HostConfig, workload: &'w mut dyn Workload, refs: u64) -> Self {
@@ -398,8 +496,15 @@ impl fmt::Debug for LiveSource<'_> {
 impl TransactionSource for LiveSource<'_> {
     fn drive(&mut self, pipeline: Pipeline) -> Result<(Pipeline, SourceStats), Error> {
         let mut machine = HostMachine::new(self.host.clone()).map_err(Error::host)?;
+        // The windowed profiler needs an end_unit barrier after every
+        // reference, so a profiled run keeps per-transaction delivery;
+        // everything else takes the batched block path.
+        let batched = !pipeline.wants_unit_boundaries();
         let shared = Shared::new(pipeline);
         machine.attach_listener(Box::new(PipelineFeed(shared.handle())));
+        if batched {
+            machine.deliver_batched(BlockPool::new(Self::BLOCK_CAPACITY));
+        }
 
         let mut done: u64 = 0;
         while done < self.refs {
@@ -411,8 +516,10 @@ impl TransactionSource for LiveSource<'_> {
                     };
                     machine.access(r.cpu, kind, r.addr);
                     done += 1;
-                    let cycle = machine.bus().current_cycle();
-                    shared.with_mut(|p| p.end_unit(cycle));
+                    if !batched {
+                        let cycle = machine.bus().current_cycle();
+                        shared.with_mut(|p| p.end_unit(cycle));
+                    }
                 }
                 WorkloadEvent::Instructions { cpu, count } => {
                     machine.tick_instructions(cpu, count);
@@ -440,6 +547,218 @@ impl TransactionSource for LiveSource<'_> {
                 units: done,
                 machine: Some(machine_stats),
                 bus: Some(bus),
+                ..SourceStats::default()
+            },
+        ))
+    }
+}
+
+/// How a pipelined producer hands blocks to the consumer loop.
+struct BlockShipper {
+    pool: BlockPool,
+    block: PooledBlock,
+    tx: SyncSender<PooledBlock>,
+    blocks: u64,
+    stalls: u64,
+    /// Set when the consumer side dropped its receiver (it panicked or
+    /// bailed); the producer stops generating as soon as it notices.
+    disconnected: bool,
+}
+
+impl BlockShipper {
+    fn ship(&mut self, full: PooledBlock) {
+        self.blocks += 1;
+        match self.tx.try_send(full) {
+            Ok(()) => {}
+            Err(TrySendError::Full(b)) => {
+                self.stalls += 1;
+                if self.tx.send(b).is_err() {
+                    self.disconnected = true;
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => self.disconnected = true,
+        }
+    }
+
+    fn flush(&mut self) {
+        if !self.block.is_empty() {
+            let partial = std::mem::replace(&mut self.block, self.pool.take());
+            self.ship(partial);
+        }
+    }
+}
+
+impl BusListener for BlockShipper {
+    fn on_transaction(&mut self, txn: &Transaction) -> ListenerReaction {
+        self.block.push(*txn);
+        if self.block.is_full() {
+            let full = std::mem::replace(&mut self.block, self.pool.take());
+            self.ship(full);
+        }
+        ListenerReaction::Proceed
+    }
+}
+
+/// What the producer thread hands back when it drains.
+struct ProducerSide {
+    units: u64,
+    machine: MachineStats,
+    bus: BusStats,
+    stats: ProducerStats,
+}
+
+/// A live source with its own producer stage: host MESI simulation runs
+/// on a dedicated thread, filling pooled transaction blocks and shipping
+/// them over a bounded queue, while the calling thread drains the queue
+/// into the pipeline. Host simulation and board emulation overlap
+/// instead of alternating, and the handoff is whole blocks — the
+/// software analogue of the board snooping the bus in real time while
+/// the host runs ahead (§2.1).
+///
+/// Results are bit-identical to [`LiveSource`]: the stream order is
+/// fixed by the producer, and the pipeline is batch-size-invariant.
+/// Profiled runs (which need per-reference unit boundaries) are not
+/// supported — drive them through [`LiveSource`].
+pub struct PipelinedLiveSource<'w> {
+    host: HostConfig,
+    workload: &'w mut (dyn Workload + Send),
+    refs: u64,
+    queue_depth: usize,
+    block_capacity: usize,
+}
+
+impl<'w> PipelinedLiveSource<'w> {
+    /// Bounded block-queue depth between producer and consumer.
+    pub const DEFAULT_QUEUE_DEPTH: usize = 4;
+
+    /// Transactions per shipped block.
+    pub const DEFAULT_BLOCK_CAPACITY: usize = 4096;
+
+    /// A pipelined source driving `refs` references of `workload`
+    /// through a host built from `host`.
+    pub fn new(host: HostConfig, workload: &'w mut (dyn Workload + Send), refs: u64) -> Self {
+        PipelinedLiveSource {
+            host,
+            workload,
+            refs,
+            queue_depth: Self::DEFAULT_QUEUE_DEPTH,
+            block_capacity: Self::DEFAULT_BLOCK_CAPACITY,
+        }
+    }
+
+    /// Overrides the block-queue depth (0 is treated as 1).
+    #[must_use]
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Overrides the shipped-block capacity (0 is treated as 1).
+    #[must_use]
+    pub fn with_block_capacity(mut self, capacity: usize) -> Self {
+        self.block_capacity = capacity.max(1);
+        self
+    }
+}
+
+impl fmt::Debug for PipelinedLiveSource<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PipelinedLiveSource")
+            .field("host", &self.host)
+            .field("refs", &self.refs)
+            .field("queue_depth", &self.queue_depth)
+            .field("block_capacity", &self.block_capacity)
+            .finish()
+    }
+}
+
+impl TransactionSource for PipelinedLiveSource<'_> {
+    fn drive(&mut self, mut pipeline: Pipeline) -> Result<(Pipeline, SourceStats), Error> {
+        let host = self.host.clone();
+        let refs = self.refs;
+        let pool = BlockPool::new(self.block_capacity);
+        let (tx, rx) = sync_channel::<PooledBlock>(self.queue_depth);
+        let workload = &mut *self.workload;
+
+        let produced = std::thread::scope(|scope| {
+            // Own the receiver inside the scope: if the consumer loop
+            // panics, unwinding drops it, the producer's next send
+            // fails, and the scope can join the producer instead of
+            // deadlocking on a full queue.
+            let rx = rx;
+            let producer = scope.spawn(move || -> Result<ProducerSide, Error> {
+                let mut machine = HostMachine::new(host).map_err(Error::host)?;
+                let shipper = Shared::new(BlockShipper {
+                    block: pool.take(),
+                    pool: pool.clone(),
+                    tx,
+                    blocks: 0,
+                    stalls: 0,
+                    disconnected: false,
+                });
+                machine.attach_listener(Box::new(shipper.handle()));
+
+                let mut done: u64 = 0;
+                while done < refs && !shipper.with(|s| s.disconnected) {
+                    match workload.next_event() {
+                        WorkloadEvent::Ref(r) => {
+                            let kind = match r.kind {
+                                RefKind::Load => AccessKind::Load,
+                                RefKind::Store => AccessKind::Store,
+                            };
+                            machine.access(r.cpu, kind, r.addr);
+                            done += 1;
+                        }
+                        WorkloadEvent::Instructions { cpu, count } => {
+                            machine.tick_instructions(cpu, count);
+                        }
+                        WorkloadEvent::Dma { write, addr } => {
+                            if write {
+                                machine.dma_write(addr);
+                            } else {
+                                machine.dma_read(addr);
+                            }
+                        }
+                    }
+                }
+
+                let machine_stats = machine.stats();
+                let bus = machine.bus().stats().clone();
+                drop(machine.detach_listeners());
+                let mut shipper = shipper
+                    .try_unwrap()
+                    .map_err(|_| ())
+                    .expect("producer holds the last shipper handle after detaching");
+                shipper.flush();
+                let stats = ProducerStats {
+                    blocks: shipper.blocks,
+                    stalls: shipper.stalls,
+                    pool: pool.stats(),
+                };
+                // Dropping the shipper here drops the sender; the
+                // consumer's recv loop then ends cleanly.
+                Ok(ProducerSide {
+                    units: done,
+                    machine: machine_stats,
+                    bus,
+                    stats,
+                })
+            });
+
+            while let Ok(block) = rx.recv() {
+                pipeline.feed_pooled(block);
+            }
+            producer.join()
+        });
+
+        let side = produced.unwrap_or_else(|panic| std::panic::resume_unwind(panic))?;
+        Ok((
+            pipeline,
+            SourceStats {
+                units: side.units,
+                machine: Some(side.machine),
+                bus: Some(side.bus),
+                producer: Some(side.stats),
             },
         ))
     }
@@ -531,18 +850,36 @@ impl<R: Read> ChunkedTraceSource<R> {
 impl<R: Read> TransactionSource for ChunkedTraceSource<R> {
     fn drive(&mut self, mut pipeline: Pipeline) -> Result<(Pipeline, SourceStats), Error> {
         let mut reader = self.reader.take().ok_or(PipelineError::SourceExhausted)?;
-        let mut buf = Vec::new();
         let mut n = 0u64;
-        loop {
-            let got = reader.read_chunk(&mut buf, self.chunk)?;
-            if got == 0 {
-                break;
+        if pipeline.wants_unit_boundaries() {
+            // Profiled replay: the windowed profiler needs an end_unit
+            // boundary after every record, so decode and feed per record.
+            let mut buf = Vec::new();
+            loop {
+                let got = reader.read_chunk(&mut buf, self.chunk)?;
+                if got == 0 {
+                    break;
+                }
+                for rec in &buf {
+                    let cycle = n * self.cycle_spacing;
+                    pipeline.feed(&rec.to_transaction(n, cycle));
+                    pipeline.end_unit(cycle);
+                    n += 1;
+                }
             }
-            for rec in &buf {
-                let cycle = n * self.cycle_spacing;
-                pipeline.feed(&rec.to_transaction(n, cycle));
-                pipeline.end_unit(cycle);
-                n += 1;
+        } else {
+            // Block-native replay: decode straight into pooled blocks
+            // and hand each buffer to the pipeline whole. Numbering and
+            // timing are identical to the per-record path.
+            let pool = BlockPool::new(self.chunk);
+            loop {
+                let mut block = pool.take();
+                let got = reader.read_block(&mut block, n, self.cycle_spacing)?;
+                if got == 0 {
+                    break;
+                }
+                n += got as u64;
+                pipeline.feed_pooled(block);
             }
         }
         Ok((

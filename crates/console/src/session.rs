@@ -29,6 +29,7 @@
 //! Every public entry point — [`run`](EmulationSession::run),
 //! [`run_profiled`](EmulationSession::run_profiled),
 //! [`run_monitored`](EmulationSession::run_monitored),
+//! [`run_pipelined`](EmulationSession::run_pipelined),
 //! [`replay`](EmulationSession::replay),
 //! [`replay_monitored`](EmulationSession::replay_monitored),
 //! [`replay_stream`](EmulationSession::replay_stream) — is a thin
@@ -59,8 +60,8 @@ use memories_verify::{verify_board, FuzzConfig, VerifyReport};
 use memories_workloads::Workload;
 
 use crate::pipeline::{
-    ChunkedTraceSource, ExecutionOptions, LiveSource, Pipeline, PipelineRun, TraceSource,
-    TransactionSource,
+    ChunkedTraceSource, ExecutionOptions, LiveSource, Pipeline, PipelineRun, PipelinedLiveSource,
+    TraceSource, TransactionSource,
 };
 use crate::result::ExperimentResult;
 
@@ -503,6 +504,68 @@ impl EmulationSession {
             telemetry,
             result: experiment_result(run),
         })
+    }
+
+    /// Like [`EmulationSession::run`], but with host simulation on its
+    /// own producer thread: the host fills pooled transaction blocks and
+    /// ships them over a bounded queue while this thread drains them
+    /// into the board pipeline, so host MESI simulation overlaps board
+    /// emulation instead of alternating with it. Results are
+    /// bit-identical to [`run`](EmulationSession::run); the workload
+    /// must be `Send` because it moves to the producer thread for the
+    /// duration of the call.
+    ///
+    /// # Errors
+    ///
+    /// As [`EmulationSession::run`].
+    pub fn run_pipelined(
+        &self,
+        workload: &mut (dyn Workload + Send),
+        refs: u64,
+    ) -> Result<ExperimentResult, Error> {
+        let source = self.pipelined_source(workload, refs)?;
+        let run = self.execute(source, ExecutionOptions::new())?;
+        Ok(experiment_result(run))
+    }
+
+    /// [`run_monitored`](EmulationSession::run_monitored) with the
+    /// pipelined producer of
+    /// [`run_pipelined`](EmulationSession::run_pipelined): counter
+    /// samples land at the exact same admitted-transaction positions as
+    /// the non-pipelined run, and the telemetry additionally reports the
+    /// producer's block/stall counters.
+    ///
+    /// # Errors
+    ///
+    /// As [`EmulationSession::run_monitored`].
+    pub fn run_monitored_pipelined(
+        &self,
+        workload: &mut (dyn Workload + Send),
+        refs: u64,
+    ) -> Result<MonitoredRun, Error> {
+        let source = self.pipelined_source(workload, refs)?;
+        let mut run = self.execute(
+            source,
+            ExecutionOptions::new().sample_every(self.sample_every),
+        )?;
+        let series = std::mem::take(&mut run.series);
+        let telemetry = std::mem::take(&mut run.telemetry);
+        Ok(MonitoredRun {
+            series,
+            telemetry,
+            result: experiment_result(run),
+        })
+    }
+
+    /// Builds a pipelined live source for this session's host, or
+    /// reports that the builder never got one.
+    fn pipelined_source<'w>(
+        &self,
+        workload: &'w mut (dyn Workload + Send),
+        refs: u64,
+    ) -> Result<PipelinedLiveSource<'w>, Error> {
+        let host = self.host.clone().ok_or(SessionError::MissingHost)?;
+        Ok(PipelinedLiveSource::new(host, workload, refs))
     }
 
     /// Replays captured trace records through a fresh board offline — the

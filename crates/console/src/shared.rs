@@ -3,7 +3,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use memories_bus::{BusListener, ListenerReaction, Transaction};
+use memories_bus::{BusListener, ListenerReaction, Transaction, TransactionBlock};
 
 /// Wraps a listener in shared ownership so the experiment runner can keep
 /// a handle for statistics extraction while the bus drives the listener.
@@ -57,6 +57,10 @@ impl<L> Shared<L> {
 impl<L: BusListener> BusListener for Shared<L> {
     fn on_transaction(&mut self, txn: &Transaction) -> ListenerReaction {
         self.0.borrow_mut().on_transaction(txn)
+    }
+
+    fn on_block(&mut self, block: &TransactionBlock) -> ListenerReaction {
+        self.0.borrow_mut().on_block(block)
     }
 }
 

@@ -2,7 +2,9 @@
 
 use std::fmt;
 
-use memories_bus::{BusListener, BusOp, ListenerReaction, NodeId, ProcId, Transaction};
+use memories_bus::{
+    BusListener, BusOp, ListenerReaction, NodeId, ProcId, Transaction, TransactionBlock,
+};
 use memories_protocol::{standard, ProtocolTable};
 
 use crate::counters::Counter40;
@@ -259,6 +261,15 @@ impl BoardFrontEnd {
     pub fn observe(&mut self, txn: &Transaction) -> bool {
         self.global.observe(txn);
         self.filter.admit(txn)
+    }
+
+    /// Observes a whole raw block and filters it **in place**: every
+    /// transaction passes through the global counters and the address
+    /// filter exactly once (identical statistics to per-transaction
+    /// observation), and the block is left holding only the admitted
+    /// transactions, in stream order, with no allocation.
+    pub fn filter_block(&mut self, block: &mut TransactionBlock) {
+        block.retain(|txn| self.observe(txn));
     }
 
     /// Turns a snoop's overflow flag into the bus reaction, counting the
@@ -559,11 +570,37 @@ impl MemoriesBoard {
         let overflow = self.shard.snoop(txn);
         self.front.reaction(overflow)
     }
+
+    /// Batched ingest: observes every transaction of `txns` in stream
+    /// order through the same snoop/filter/update pipeline as
+    /// [`BusListener::on_transaction`] — counters, tag directories, and
+    /// retry accounting are bit-identical — with one virtual call per
+    /// block instead of one per transaction.
+    ///
+    /// Returns [`ListenerReaction::Retry`] if any transaction in the block
+    /// overflowed a node buffer (and the board is configured to post
+    /// retries). The reaction necessarily covers the block as a whole:
+    /// batched delivery trades per-transaction retry feedback for
+    /// throughput, which §3.3 reports is how the board behaved in practice
+    /// (no retry ever posted in months of lab use).
+    pub fn observe_block(&mut self, txns: &[Transaction]) -> ListenerReaction {
+        let mut reaction = ListenerReaction::Proceed;
+        for txn in txns {
+            if self.observe(txn) == ListenerReaction::Retry {
+                reaction = ListenerReaction::Retry;
+            }
+        }
+        reaction
+    }
 }
 
 impl BusListener for MemoriesBoard {
     fn on_transaction(&mut self, txn: &Transaction) -> ListenerReaction {
         self.observe(txn)
+    }
+
+    fn on_block(&mut self, block: &TransactionBlock) -> ListenerReaction {
+        self.observe_block(block.as_slice())
     }
 }
 

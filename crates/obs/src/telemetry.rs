@@ -52,9 +52,27 @@ pub struct EngineTelemetry {
     pub batch_capacity: usize,
     /// Batch-queue slots per worker (the channel bound).
     pub queue_capacity: usize,
-    /// Times the producer found every queue slot full and had to block
-    /// (backpressure events — workers not keeping up).
+    /// Times the stream's producer stage found its downstream queue full
+    /// and had to block (backpressure events). In an alternating run this
+    /// is the feed loop blocking on the worker batch queues; in a
+    /// pipelined run it is the host-simulation producer blocking on the
+    /// block queue (the consumer side's worker-queue stalls are then
+    /// reported separately as
+    /// [`consumer_stalls`](Self::consumer_stalls)).
     pub producer_stalls: u64,
+    /// Batches served by recycling a pooled block (no allocation).
+    pub pool_hits: u64,
+    /// Batches that needed a fresh block allocation (pool free list was
+    /// empty — bounded by the blocks simultaneously in flight).
+    pub pool_allocs: u64,
+    /// Blocks shipped by a pipelined producer stage (0 when the producer
+    /// was not pipelined).
+    pub producer_blocks: u64,
+    /// In a pipelined run, backpressure events at the engine's own worker
+    /// queues — the consumer side of the pipeline. 0 in alternating runs
+    /// (those events are the [`producer_stalls`](Self::producer_stalls)
+    /// themselves).
+    pub consumer_stalls: u64,
     /// Snapshot barriers taken mid-run.
     pub snapshots: u64,
     /// Wall-clock time from engine construction to `finish`.
@@ -99,15 +117,24 @@ impl fmt::Display for EngineTelemetry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "engine: {} seen, {} admitted, {} batches of {}, {} stalls, {} snapshots, {:.3}s wall",
+            "engine: {} seen, {} admitted, {} batches of {} ({} pooled / {} fresh), {} stalls, {} snapshots, {:.3}s wall",
             self.seen,
             self.admitted,
             self.batches,
             self.batch_capacity,
+            self.pool_hits,
+            self.pool_allocs,
             self.producer_stalls,
             self.snapshots,
             self.wall.as_secs_f64(),
         )?;
+        if self.producer_blocks > 0 {
+            writeln!(
+                f,
+                "  pipelined producer: {} blocks shipped, {} producer stalls, {} consumer stalls",
+                self.producer_blocks, self.producer_stalls, self.consumer_stalls,
+            )?;
+        }
         for s in &self.shards {
             writeln!(
                 f,

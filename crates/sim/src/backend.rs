@@ -25,7 +25,7 @@
 //! `memories-verify` differential fuzzer cross-checks continuously.
 
 use memories::{BoardSnapshot, Error, MemoriesBoard};
-use memories_bus::{BusListener as _, Transaction};
+use memories_bus::{BusListener as _, PooledBlock, Transaction};
 use memories_obs::EngineTelemetry;
 
 use crate::engine::EmulationEngine;
@@ -41,6 +41,26 @@ use crate::engine::EmulationEngine;
 pub trait ExecutionBackend {
     /// Feeds one bus transaction, in stream order.
     fn feed(&mut self, txn: &Transaction);
+
+    /// Feeds a whole block of transactions, in stream order.
+    ///
+    /// Semantically identical to calling [`feed`](Self::feed) once per
+    /// transaction (which is the default implementation); block-native
+    /// backends override it to amortise dispatch over the block.
+    fn feed_block(&mut self, txns: &[Transaction]) {
+        for txn in txns {
+            self.feed(txn);
+        }
+    }
+
+    /// Feeds an already-pooled block, letting the backend re-use its
+    /// buffer (e.g. broadcast it to shard workers without copying).
+    ///
+    /// Defaults to [`feed_block`](Self::feed_block) over the block's
+    /// contents; results are bit-identical either way.
+    fn feed_pooled(&mut self, block: PooledBlock) {
+        self.feed_block(block.as_slice());
+    }
 
     /// Transactions the address filter has admitted so far — the x-axis
     /// of "sample every N admitted transactions".
@@ -76,6 +96,10 @@ impl ExecutionBackend for MemoriesBoard {
         self.on_transaction(txn);
     }
 
+    fn feed_block(&mut self, txns: &[Transaction]) {
+        self.observe_block(txns);
+    }
+
     fn admitted(&self) -> u64 {
         self.filter().stats().forwarded
     }
@@ -102,6 +126,14 @@ impl ExecutionBackend for MemoriesBoard {
 impl ExecutionBackend for EmulationEngine {
     fn feed(&mut self, txn: &Transaction) {
         EmulationEngine::feed(self, txn);
+    }
+
+    fn feed_block(&mut self, txns: &[Transaction]) {
+        EmulationEngine::feed_block(self, txns);
+    }
+
+    fn feed_pooled(&mut self, block: PooledBlock) {
+        EmulationEngine::feed_pooled(self, block);
     }
 
     fn admitted(&self) -> u64 {

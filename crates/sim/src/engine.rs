@@ -53,7 +53,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use memories::{BoardFrontEnd, BoardSnapshot, Error, MemoriesBoard, NodeCounters, NodeShard};
-use memories_bus::Transaction;
+use memories_bus::{BlockPool, PooledBlock, Transaction};
 use memories_obs::{EngineTelemetry, ShardTelemetry, TimeSeries};
 
 /// How the engine drives the node controllers.
@@ -166,7 +166,10 @@ struct WorkerDone {
 }
 
 enum Request {
-    Batch(Arc<Vec<Transaction>>),
+    /// One batch of admitted transactions, shared by every worker. The
+    /// block came from the engine's [`BlockPool`]; the last worker to
+    /// drop its handle recycles the buffer.
+    Batch(Arc<PooledBlock>),
     Snapshot(SyncSender<ShardReport>),
 }
 
@@ -182,8 +185,10 @@ enum Inner {
     },
     Parallel {
         front: BoardFrontEnd,
-        batch: Vec<Transaction>,
-        batch_capacity: usize,
+        /// The batch currently filling, on loan from `pool`.
+        block: PooledBlock,
+        /// Recycles broadcast batches: steady state runs allocation-free.
+        pool: BlockPool,
         node_count: usize,
         workers: Vec<Worker>,
     },
@@ -250,10 +255,12 @@ impl EmulationEngine {
                 let node_count = board.node_count();
                 let (front, shard_vec) = board.split(shards);
                 let workers = shard_vec.into_iter().map(spawn_worker).collect();
+                let pool = BlockPool::new(config.batch);
+                let block = pool.take();
                 Inner::Parallel {
                     front,
-                    batch: Vec::with_capacity(config.batch),
-                    batch_capacity: config.batch.max(1),
+                    block,
+                    pool,
                     node_count,
                     workers,
                 }
@@ -318,20 +325,17 @@ impl EmulationEngine {
             }
             Inner::Parallel {
                 front,
-                batch,
-                batch_capacity,
+                block,
+                pool,
                 workers,
                 ..
             } => {
                 if !front.observe(txn) {
                     return;
                 }
-                batch.push(*txn);
-                if batch.len() >= *batch_capacity {
-                    let full = Arc::new(std::mem::replace(
-                        batch,
-                        Vec::with_capacity(*batch_capacity),
-                    ));
+                block.push(*txn);
+                if block.is_full() {
+                    let full = Arc::new(std::mem::replace(block, pool.take()));
                     self.batches += 1;
                     self.producer_stalls += broadcast(workers, full);
                 }
@@ -358,6 +362,83 @@ impl EmulationEngine {
     pub fn feed_all<'a, I: IntoIterator<Item = &'a Transaction>>(&mut self, stream: I) {
         for txn in stream {
             self.feed(txn);
+        }
+    }
+
+    /// Feeds a whole block of transactions, in stream order.
+    ///
+    /// Semantically identical to calling [`feed`](Self::feed) once per
+    /// transaction — the filter, counters, batching, and retry accounting
+    /// all see the same stream — but with the per-transaction dispatch
+    /// amortised over the block (the serial board snoops the slice in one
+    /// call; the parallel front end filters it in a tight loop).
+    pub fn feed_block(&mut self, txns: &[Transaction]) {
+        if self.sample_period.is_some() {
+            // Auto-sampling checks the stream position after every
+            // transaction; keep those positions exact.
+            for txn in txns {
+                self.feed(txn);
+            }
+            return;
+        }
+        match &mut self.inner {
+            Inner::Serial { board } => {
+                board.observe_block(txns);
+            }
+            Inner::Parallel {
+                front,
+                block,
+                pool,
+                workers,
+                ..
+            } => {
+                for txn in txns {
+                    if !front.observe(txn) {
+                        continue;
+                    }
+                    block.push(*txn);
+                    if block.is_full() {
+                        let full = Arc::new(std::mem::replace(block, pool.take()));
+                        self.batches += 1;
+                        self.producer_stalls += broadcast(workers, full);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Feeds an already-pooled block, re-using its buffer as the
+    /// broadcast batch when possible.
+    ///
+    /// When no partial engine batch is pending (the steady state when a
+    /// pipelined producer is the only feeder) the incoming block is
+    /// filtered **in place** by the front end and broadcast to the workers
+    /// directly — the transactions are never copied again between the
+    /// producer and the shards. Otherwise this falls back to
+    /// [`feed_block`](Self::feed_block), which preserves stream order.
+    /// Results are bit-identical either way (batch-size invariance).
+    pub fn feed_pooled(&mut self, mut incoming: PooledBlock) {
+        let zero_copy = self.sample_period.is_none()
+            && match &self.inner {
+                Inner::Serial { .. } => true,
+                Inner::Parallel { block, .. } => block.is_empty(),
+            };
+        if !zero_copy {
+            self.feed_block(incoming.as_slice());
+            return;
+        }
+        match &mut self.inner {
+            Inner::Serial { board } => {
+                board.observe_block(incoming.as_slice());
+            }
+            Inner::Parallel { front, workers, .. } => {
+                front.filter_block(&mut incoming);
+                if incoming.is_empty() {
+                    return;
+                }
+                self.batches += 1;
+                self.producer_stalls += broadcast(workers, Arc::new(incoming));
+            }
         }
     }
 
@@ -404,18 +485,15 @@ impl EmulationEngine {
             Inner::Serial { board } => Ok(board.snapshot()),
             Inner::Parallel {
                 front,
-                batch,
-                batch_capacity,
+                block,
+                pool,
                 node_count,
                 workers,
             } => {
                 // Flush the partial batch so workers have seen the whole
                 // admitted stream before they reply.
-                if !batch.is_empty() {
-                    let tail = Arc::new(std::mem::replace(
-                        batch,
-                        Vec::with_capacity(*batch_capacity),
-                    ));
+                if !block.is_empty() {
+                    let tail = Arc::new(std::mem::replace(block, pool.take()));
                     self.batches += 1;
                     self.producer_stalls += broadcast(workers, tail);
                 }
@@ -489,12 +567,12 @@ impl EmulationEngine {
             }
             Inner::Parallel {
                 mut front,
-                batch,
-                batch_capacity,
+                block,
+                pool,
                 workers,
                 ..
             } => {
-                telemetry.batch_capacity = batch_capacity;
+                telemetry.batch_capacity = pool.block_capacity();
                 let mut senders = Vec::with_capacity(workers.len());
                 let mut handles = Vec::with_capacity(workers.len());
                 let mut node_counts = Vec::with_capacity(workers.len());
@@ -503,8 +581,8 @@ impl EmulationEngine {
                     handles.push(w.handle);
                     node_counts.push(w.nodes);
                 }
-                if !batch.is_empty() {
-                    let last = Arc::new(batch);
+                if !block.is_empty() {
+                    let last = Arc::new(block);
                     telemetry.batches += 1;
                     for sender in &senders {
                         if sender.send(Request::Batch(Arc::clone(&last))).is_err() {
@@ -512,6 +590,9 @@ impl EmulationEngine {
                         }
                     }
                 }
+                let pool_stats = pool.stats();
+                telemetry.pool_hits = pool_stats.hits;
+                telemetry.pool_allocs = pool_stats.fresh;
                 drop(senders); // Closes the channels; workers drain and exit.
 
                 let mut shards = Vec::with_capacity(handles.len());
@@ -553,10 +634,10 @@ impl fmt::Debug for EmulationEngine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.inner {
             Inner::Serial { .. } => f.debug_struct("EmulationEngine(serial)").finish(),
-            Inner::Parallel { workers, batch, .. } => f
+            Inner::Parallel { workers, block, .. } => f
                 .debug_struct("EmulationEngine(parallel)")
                 .field("shards", &workers.len())
-                .field("pending", &batch.len())
+                .field("pending", &block.len())
                 .field("samples", &self.series.len())
                 .finish(),
         }
@@ -598,7 +679,7 @@ fn or_and_count(mask_lists: Vec<Vec<OverflowMask>>) -> Result<u64, Error> {
 /// Sends `batch` to every worker, counting backpressure stalls. If a
 /// worker has hung up (its thread died), joins all workers to surface the
 /// panic instead of poisoning the stream silently.
-fn broadcast(workers: &mut Vec<Worker>, batch: Arc<Vec<Transaction>>) -> u64 {
+fn broadcast(workers: &mut Vec<Worker>, batch: Arc<PooledBlock>) -> u64 {
     let mut stalls = 0;
     for i in 0..workers.len() {
         match workers[i]
@@ -914,7 +995,7 @@ mod tests {
         // panic payload instead of panicking on the channel error.
         let mut workers = vec![dead_worker("snoop worker exploded")];
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            broadcast(&mut workers, Arc::new(Vec::new()));
+            broadcast(&mut workers, Arc::new(BlockPool::new(1).take()));
         }));
         let payload = result.expect_err("worker panic must propagate");
         let text = payload
@@ -959,6 +1040,86 @@ mod tests {
         let mut b = mask_for(64);
         b[0] = 0b0110;
         assert_eq!(or_and_count(vec![vec![a], vec![b]]).unwrap(), 4);
+    }
+
+    #[test]
+    fn feed_block_is_bit_identical_to_feed() {
+        let cfg = four_domain_config();
+        let txns = stream(9_973, 60);
+        let serial = run(&cfg, EngineConfig::serial(), &txns);
+        for engine_cfg in [
+            EngineConfig::serial(),
+            EngineConfig::parallel(2).with_batch(512),
+            EngineConfig::parallel(4).with_batch(100),
+        ] {
+            for chunk in [1usize, 7, 512, 4096] {
+                let mut engine =
+                    EmulationEngine::new(MemoriesBoard::new(cfg.clone()).unwrap(), engine_cfg);
+                for slice in txns.chunks(chunk) {
+                    engine.feed_block(slice);
+                }
+                let board = engine.finish().unwrap();
+                assert_boards_identical(&serial, &board);
+            }
+        }
+    }
+
+    #[test]
+    fn feed_pooled_broadcasts_in_place_and_stays_exact() {
+        let cfg = four_domain_config();
+        let txns = stream(9_973, 60);
+        let serial = run(&cfg, EngineConfig::serial(), &txns);
+        for engine_cfg in [
+            EngineConfig::serial(),
+            EngineConfig::parallel(4).with_batch(256),
+        ] {
+            let pool = BlockPool::new(300); // deliberately != engine batch
+            let mut engine =
+                EmulationEngine::new(MemoriesBoard::new(cfg.clone()).unwrap(), engine_cfg);
+            let mut block = pool.take();
+            for txn in &txns {
+                block.push(*txn);
+                if block.is_full() {
+                    engine.feed_pooled(std::mem::replace(&mut block, pool.take()));
+                }
+            }
+            if !block.is_empty() {
+                engine.feed_pooled(block);
+            }
+            let board = engine.finish().unwrap();
+            assert_boards_identical(&serial, &board);
+        }
+    }
+
+    #[test]
+    fn broadcast_batches_recycle_through_the_pool() {
+        let cfg = four_domain_config();
+        let txns = stream(8_000, 60);
+        let mut engine = EmulationEngine::new(
+            MemoriesBoard::new(cfg).unwrap(),
+            EngineConfig::parallel(4).with_batch(100),
+        );
+        engine.feed_all(&txns);
+        let (_, report) = engine.finish_monitored().unwrap();
+        let t = &report.telemetry;
+        // Every batch came off the pool (the one extra take is the block
+        // left filling at finish, when the stream ends on a batch
+        // boundary); in-flight blocks bound the fresh allocations (queue
+        // slots + one per worker in progress + the one filling), so a
+        // long run is dominated by recycled buffers.
+        let takes = t.pool_hits + t.pool_allocs;
+        assert!(
+            takes == t.batches || takes == t.batches + 1,
+            "takes {takes} vs batches {}",
+            t.batches
+        );
+        let in_flight_bound = (t.shards.len() * (QUEUE_CAPACITY + 1) + 2) as u64;
+        assert!(
+            t.pool_allocs <= in_flight_bound,
+            "{} fresh allocations exceed the in-flight bound {in_flight_bound}",
+            t.pool_allocs
+        );
+        assert!(t.pool_hits > 0, "a long run must recycle blocks");
     }
 
     #[test]

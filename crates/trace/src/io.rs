@@ -2,7 +2,7 @@
 
 use std::io::{BufReader, BufWriter, Read, Write};
 
-use memories_bus::Transaction;
+use memories_bus::{Transaction, TransactionBlock};
 
 use crate::error::TraceError;
 use crate::record::TraceRecord;
@@ -67,6 +67,21 @@ impl<W: Write> TraceWriter<W> {
     /// Same as [`TraceWriter::write_record`].
     pub fn write_transaction(&mut self, txn: &Transaction) -> Result<(), TraceError> {
         self.write_record(&TraceRecord::from_transaction(txn))
+    }
+
+    /// Appends every transaction of a block, block-native: one encode
+    /// loop straight off the flat buffer, no per-transaction call from
+    /// the producer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TraceWriter::write_record`]; transactions before the
+    /// failure are written and counted.
+    pub fn write_block(&mut self, block: &TransactionBlock) -> Result<(), TraceError> {
+        for txn in block.as_slice() {
+            self.write_transaction(txn)?;
+        }
+        Ok(())
     }
 
     /// Number of records written so far.
@@ -210,6 +225,72 @@ impl<R: Read> TraceReader<R> {
             self.fused = true;
         }
         Ok(out.len())
+    }
+
+    /// Decodes records **directly into a transaction block** — the
+    /// block-native replay path. The block is cleared, then filled with
+    /// up to `block.capacity()` transactions: record `i` of the call
+    /// becomes a transaction with sequence number `base_seq + i` and
+    /// cycle `(base_seq + i) * cycle_spacing`, exactly the numbering the
+    /// record-at-a-time replay path assigns. No intermediate
+    /// `Vec<TraceRecord>` is ever materialized.
+    ///
+    /// Returns how many transactions were decoded; `Ok(0)` means a clean
+    /// end of stream. Error and fusing semantics match
+    /// [`TraceReader::read_chunk`], with the decodable prefix left in the
+    /// block.
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceReader::read_chunk`].
+    pub fn read_block(
+        &mut self,
+        block: &mut TransactionBlock,
+        base_seq: u64,
+        cycle_spacing: u64,
+    ) -> Result<usize, TraceError> {
+        block.clear();
+        if self.fused || block.capacity() == 0 {
+            return Ok(0);
+        }
+        let want = block.capacity().saturating_mul(8);
+        self.scratch.resize(want, 0);
+        let mut filled = 0;
+        while filled < want {
+            match self.inner.read(&mut self.scratch[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.fused = true;
+                    return Err(TraceError::Io(e));
+                }
+            }
+        }
+        let mut seq = base_seq;
+        for word_bytes in self.scratch[..filled - filled % 8].chunks_exact(8) {
+            let word = u64::from_le_bytes(word_bytes.try_into().expect("8-byte chunk"));
+            let idx = self.read;
+            match TraceRecord::decode(word, idx) {
+                Ok(rec) => {
+                    self.read += 1;
+                    block.push(rec.to_transaction(seq, seq * cycle_spacing));
+                    seq += 1;
+                }
+                Err(e) => {
+                    self.fused = true;
+                    return Err(e);
+                }
+            }
+        }
+        if filled % 8 != 0 {
+            self.fused = true;
+            return Err(TraceError::TruncatedRecord { record: self.read });
+        }
+        if filled == 0 {
+            self.fused = true;
+        }
+        Ok(block.len())
     }
 }
 
@@ -417,6 +498,66 @@ mod tests {
         );
         assert_eq!(chunk.len(), 4, "records before the corruption survive");
         assert_eq!(reader.read_chunk(&mut chunk, 64).unwrap(), 0);
+    }
+
+    #[test]
+    fn block_native_roundtrip_matches_record_path() {
+        use memories_bus::TransactionBlock;
+
+        let recs = records(1_000);
+        // Write via the block path…
+        let mut block = TransactionBlock::with_capacity(128);
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf).unwrap();
+        for (i, rec) in recs.iter().enumerate() {
+            block.push(rec.to_transaction(i as u64, i as u64 * 60));
+            if block.is_full() {
+                w.write_block(&block).unwrap();
+                block.clear();
+            }
+        }
+        w.write_block(&block).unwrap();
+        assert_eq!(w.finish().unwrap(), 1_000);
+        // …and it must be byte-identical to the record-at-a-time path.
+        assert_eq!(buf, write_all(&recs));
+
+        // Read back block-native: same transactions, same numbering as
+        // the record path assigns.
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        let mut base = 0u64;
+        let mut back = Vec::new();
+        loop {
+            let n = reader.read_block(&mut block, base, 60).unwrap();
+            if n == 0 {
+                break;
+            }
+            back.extend_from_slice(block.as_slice());
+            base += n as u64;
+        }
+        let want: Vec<Transaction> = recs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| r.to_transaction(i as u64, i as u64 * 60))
+            .collect();
+        assert_eq!(back, want);
+        assert_eq!(reader.records_read(), 1_000);
+        assert_eq!(reader.read_block(&mut block, base, 60).unwrap(), 0);
+    }
+
+    #[test]
+    fn read_block_reports_truncation_and_keeps_prefix() {
+        use memories_bus::TransactionBlock;
+
+        let mut buf = write_all(&records(70));
+        buf.truncate(buf.len() - 5);
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        let mut block = TransactionBlock::with_capacity(64);
+        assert_eq!(reader.read_block(&mut block, 0, 60).unwrap(), 64);
+        let err = reader.read_block(&mut block, 64, 60).unwrap_err();
+        assert!(matches!(err, TraceError::TruncatedRecord { record: 69 }));
+        assert_eq!(block.len(), 5, "decodable prefix survives");
+        assert_eq!(block.as_slice()[0].seq, 64);
+        assert_eq!(reader.read_block(&mut block, 69, 60).unwrap(), 0);
     }
 
     #[test]

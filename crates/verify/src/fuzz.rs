@@ -1,6 +1,6 @@
 //! Coverage-guided differential fuzzing across the three engines.
 //!
-//! Every generated transaction stream is replayed through five
+//! Every generated transaction stream is replayed through six
 //! implementations of the same semantics:
 //!
 //! 1. the reference model ([`MultiNodeSim`], untimed, per-line hash maps),
@@ -9,8 +9,11 @@
 //!    with mid-stream snapshot barriers at fixed record indices,
 //! 4. the streaming-replay path: the stream round-trips through the
 //!    on-disk trace codec ([`TraceWriter`] →
-//!    [`TraceReader::read_chunk`]) and replays chunk by chunk, and
-//! 5. for single-node all-local topologies, the trace-driven [`CacheSim`].
+//!    [`TraceReader::read_chunk`]) and replays chunk by chunk,
+//! 5. the block-native path: transactions accumulate in pooled
+//!    [`memories_bus::TransactionBlock`]s and reach the board through
+//!    `BusListener::on_block` (the batched bus-delivery data path), and
+//! 6. for single-node all-local topologies, the trace-driven [`CacheSim`].
 //!
 //! Any counter or snapshot divergence fails the stream, which is then
 //! shrunk (chunk-removal delta debugging) to a minimal counterexample and
@@ -27,7 +30,7 @@ use memories::{
     BoardConfig, BoardSnapshot, CacheParams, Error, MemoriesBoard, NodeCounter, NodeSlot,
     TimingConfig,
 };
-use memories_bus::{BusOp, ProcId};
+use memories_bus::{BlockPool, BusListener, BusOp, ProcId};
 use memories_protocol::ProtocolTable;
 use memories_sim::{compare_counts, CacheSim, EmulationEngine, EngineConfig, MultiNodeSim};
 use memories_trace::{TraceReader, TraceRecord, TraceWriter};
@@ -263,6 +266,27 @@ impl DifferentialFuzzer {
         Ok(engine.finish()?.snapshot())
     }
 
+    /// Replays `records` block-natively: transactions accumulate in
+    /// pooled blocks of the configured batch size and reach the board
+    /// through `BusListener::on_block` — the batched delivery path the
+    /// live bus and the block-native trace reader use.
+    fn run_block(&self, records: &[TraceRecord]) -> Result<BoardSnapshot, Error> {
+        let mut board = MemoriesBoard::new(self.board_config()?)?;
+        let pool = BlockPool::new(self.config.batch.max(1));
+        let mut block = pool.take();
+        for (i, rec) in records.iter().enumerate() {
+            block.push(rec.to_transaction(i as u64, i as u64 * self.config.cycle_spacing));
+            if block.is_full() {
+                board.on_block(&block);
+                block.clear();
+            }
+        }
+        if !block.is_empty() {
+            board.on_block(&block);
+        }
+        Ok(board.snapshot())
+    }
+
     /// Replays one stream through every implementation. Returns the
     /// coverage it produced and the first divergence found, if any.
     pub fn execute(&self, records: &[TraceRecord]) -> Result<(Coverage, Option<String>), Error> {
@@ -318,6 +342,16 @@ impl DifferentialFuzzer {
             return Ok((
                 cov,
                 Some(format!("serial engine vs streaming replay: {why}")),
+            ));
+        }
+
+        // Block-native delivery vs serial: on_block must be bit-identical
+        // to per-transaction snooping at the fuzzer's batch size.
+        let blocked = self.run_block(records)?;
+        if let Some(why) = snapshot_diff(&serial.final_snap, &blocked) {
+            return Ok((
+                cov,
+                Some(format!("serial engine vs block-native delivery: {why}")),
             ));
         }
 

@@ -1,0 +1,240 @@
+//! Property proof for the batch-native data path: delivering any stream
+//! as [`TransactionBlock`]s — at any block size, to the board directly
+//! or through the engine at any shard count — is bit-identical to
+//! per-transaction delivery.
+//!
+//! Three implementations of the same semantics per case:
+//!
+//! * the serial [`MemoriesBoard`] fed one transaction at a time
+//!   (`on_transaction`) — the reference,
+//! * the serial board fed pooled blocks through `on_block`,
+//! * an [`EmulationEngine`] (serial or sharded) fed through
+//!   `feed_block` in chunks of the same block size.
+//!
+//! Equality is checked on the full statistics dump (every 40-bit counter
+//! of every node plus the global counters), the retry count, the filter
+//! statistics, and — the part a counter diff can miss — the tag
+//! directories, probed at every address the stream touched.
+
+use memories::{BoardConfig, CacheParams, MemoriesBoard, TimingConfig};
+use memories_bus::{
+    Address, BlockPool, BusListener, BusOp, NodeId, ProcId, SnoopResponse, Transaction,
+    TransactionBlock,
+};
+use memories_sim::{EmulationEngine, EngineConfig};
+use proptest::prelude::*;
+
+fn params(capacity: u64) -> CacheParams {
+    CacheParams::builder()
+        .capacity(capacity)
+        .ways(4)
+        .line_size(128)
+        .allow_scaled_down()
+        .build()
+        .unwrap()
+}
+
+/// A Figure 4 four-domain board over 8 CPUs, with enough ingress
+/// buffering that adversarial streams never hit the timing-dependent
+/// overflow path (retry equivalence is still asserted — both paths must
+/// agree on the count, which is then provably zero).
+fn board() -> MemoriesBoard {
+    let mut cfg = BoardConfig::parallel_configs(
+        vec![
+            params(1 << 20),
+            params(2 << 20),
+            params(4 << 20),
+            params(8 << 20),
+        ],
+        (0..8).map(ProcId::new).collect(),
+    )
+    .unwrap();
+    cfg.timing = TimingConfig {
+        buffer_capacity: 1 << 20,
+        ..TimingConfig::default()
+    };
+    MemoriesBoard::new(cfg).unwrap()
+}
+
+fn arb_step() -> impl Strategy<Value = (u8, u8, u64, u64)> {
+    (
+        0u8..BusOp::ALL.len() as u8,
+        0u8..10, // ids ≥ 8 exercise the filter-drop path
+        0u64..512,
+        1u64..90,
+    )
+}
+
+fn build_stream(raw: &[(u8, u8, u64, u64)]) -> Vec<Transaction> {
+    let mut cycle = 0u64;
+    raw.iter()
+        .enumerate()
+        .map(|(i, &(op, proc, line, gap))| {
+            cycle += gap;
+            Transaction::new(
+                i as u64,
+                cycle,
+                ProcId::new(proc),
+                BusOp::ALL[op as usize],
+                Address::new(line * 128),
+                SnoopResponse::Null,
+            )
+        })
+        .collect()
+}
+
+/// Probe every node's tag directory at every address the stream touched
+/// and compare the MESI states between two boards.
+fn assert_directories_match(
+    a: &MemoriesBoard,
+    b: &MemoriesBoard,
+    txns: &[Transaction],
+    what: &str,
+) -> Result<(), TestCaseError> {
+    for t in txns {
+        for n in 0..a.node_count() {
+            let id = NodeId::new(n as u8);
+            prop_assert_eq!(
+                a.node(id).probe(t.addr),
+                b.node(id).probe(t.addr),
+                "{}: node {} directory diverged at {:?}",
+                what,
+                n,
+                t.addr
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn block_delivery_is_bit_identical_to_per_transaction(
+        raw in prop::collection::vec(arb_step(), 1..800),
+        block_size in prop::sample::select(vec![1usize, 7, 512, 4096]),
+        shards in prop::sample::select(vec![1usize, 2, 4, 8]),
+    ) {
+        let txns = build_stream(&raw);
+
+        // Reference: one transaction at a time into a serial board.
+        let mut reference = board();
+        for t in &txns {
+            reference.on_transaction(t);
+        }
+
+        // Same stream as pooled blocks through on_block.
+        let mut blocked = board();
+        let pool = BlockPool::new(block_size);
+        let mut block = pool.take();
+        for t in &txns {
+            block.push(*t);
+            if block.is_full() {
+                blocked.on_block(&block);
+                block.clear();
+            }
+        }
+        if !block.is_empty() {
+            blocked.on_block(&block);
+        }
+        prop_assert_eq!(
+            reference.statistics_report(),
+            blocked.statistics_report(),
+            "block size {}: counters diverged",
+            block_size
+        );
+        prop_assert_eq!(reference.retries_posted(), blocked.retries_posted());
+        prop_assert_eq!(reference.filter().stats(), blocked.filter().stats());
+        assert_directories_match(&reference, &blocked, &txns, "board on_block")?;
+
+        // Same stream through the engine's block path at the chosen
+        // parallelism (batch size deliberately different from the block
+        // size, so broadcast re-batching is exercised).
+        let cfg = if shards <= 1 {
+            EngineConfig::serial()
+        } else {
+            EngineConfig::parallel(shards).with_batch(512)
+        };
+        let mut engine = EmulationEngine::new(board(), cfg);
+        for chunk in txns.chunks(block_size) {
+            engine.feed_block(chunk);
+        }
+        let final_board = engine.finish().unwrap();
+        prop_assert_eq!(
+            reference.statistics_report(),
+            final_board.statistics_report(),
+            "block size {} x {} shards: engine counters diverged",
+            block_size,
+            shards
+        );
+        prop_assert_eq!(reference.retries_posted(), final_board.retries_posted());
+        prop_assert_eq!(reference.filter().stats(), final_board.filter().stats());
+        assert_directories_match(&reference, &final_board, &txns, "engine feed_block")?;
+    }
+
+    /// `feed_pooled` (the zero-copy handoff) agrees with `feed_block`
+    /// (the borrowing path) on the same chunking.
+    #[test]
+    fn pooled_handoff_matches_borrowed_blocks(
+        raw in prop::collection::vec(arb_step(), 1..500),
+        block_size in prop::sample::select(vec![1usize, 7, 512]),
+        shards in prop::sample::select(vec![1usize, 2, 4]),
+    ) {
+        let txns = build_stream(&raw);
+        let cfg = || if shards <= 1 {
+            EngineConfig::serial()
+        } else {
+            EngineConfig::parallel(shards).with_batch(256)
+        };
+
+        let mut borrowed = EmulationEngine::new(board(), cfg());
+        for chunk in txns.chunks(block_size) {
+            borrowed.feed_block(chunk);
+        }
+        let borrowed = borrowed.finish().unwrap();
+
+        let pool = BlockPool::new(block_size);
+        let mut pooled = EmulationEngine::new(board(), cfg());
+        for chunk in txns.chunks(block_size) {
+            let mut block = pool.take();
+            for t in chunk {
+                block.push(*t);
+            }
+            pooled.feed_pooled(block);
+        }
+        let pooled = pooled.finish().unwrap();
+
+        prop_assert_eq!(
+            borrowed.statistics_report(),
+            pooled.statistics_report(),
+            "block size {} x {} shards: pooled handoff diverged",
+            block_size,
+            shards
+        );
+    }
+}
+
+/// Pool lifecycle across the crate boundary: blocks recycle, keep their
+/// capacity, and deref to a plain transaction slice.
+#[test]
+fn transaction_block_respects_capacity_invariant() {
+    let pool = BlockPool::new(16);
+    let mut block = pool.take();
+    assert_eq!(block.capacity(), 16);
+    for t in build_stream(&[(0, 0, 1, 1); 16]) {
+        block.push(t);
+    }
+    assert!(block.is_full());
+    block.clear();
+    assert!(block.is_empty());
+    assert_eq!(block.capacity(), 16);
+    drop(block);
+
+    // The recycled buffer comes back without a fresh allocation.
+    let recycled = pool.take();
+    assert_eq!(pool.stats().hits, 1);
+    assert!(recycled.is_empty());
+    let slice: &TransactionBlock = &recycled;
+    let _: &[Transaction] = slice;
+}

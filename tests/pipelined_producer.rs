@@ -1,0 +1,181 @@
+//! Acceptance tests for the pipelined host producer: host MESI
+//! simulation on its own thread, shipping pooled transaction blocks over
+//! a bounded queue, must stay bit-identical to the alternating
+//! (single-thread) path — even with mid-stream snapshot barriers — and
+//! must actually relieve producer-side backpressure.
+
+use memories::{BoardConfig, CacheParams};
+use memories_bus::ProcId;
+use memories_console::{EmulationSession, ExecutionOptions, LiveSource, PipelinedLiveSource};
+use memories_host::HostConfig;
+use memories_workloads::{OltpConfig, OltpWorkload};
+
+fn params(capacity: u64) -> CacheParams {
+    CacheParams::builder()
+        .capacity(capacity)
+        .ways(4)
+        .line_size(128)
+        .allow_scaled_down()
+        .build()
+        .unwrap()
+}
+
+fn host() -> HostConfig {
+    HostConfig {
+        num_cpus: 8,
+        inner_cache: None,
+        outer_cache: memories_bus::Geometry::new(128 << 10, 4, 128).unwrap(),
+        ..HostConfig::s7a()
+    }
+}
+
+/// Four cache candidates, each its own coherence domain — an expensive
+/// board, so the consumer side dominates and the producer runs ahead.
+fn board() -> BoardConfig {
+    BoardConfig::parallel_configs(
+        vec![
+            params(1 << 20),
+            params(2 << 20),
+            params(4 << 20),
+            params(8 << 20),
+        ],
+        (0..8).map(ProcId::new).collect(),
+    )
+    .unwrap()
+}
+
+fn oltp() -> OltpWorkload {
+    OltpWorkload::new(OltpConfig {
+        journal: None,
+        ..OltpConfig::scaled_default()
+    })
+}
+
+fn session(parallelism: usize, sample_every: Option<u64>) -> EmulationSession {
+    let mut b = EmulationSession::builder()
+        .host(host())
+        .board(board())
+        .parallelism(parallelism)
+        .batch(256);
+    if let Some(period) = sample_every {
+        b = b.sample_every(period);
+    }
+    b.build().unwrap()
+}
+
+/// The producer may run a whole queue of blocks ahead of the board, yet
+/// every run mode — plain and monitored, serial and sharded — must land
+/// on exactly the counters of the alternating path, and monitored runs
+/// must take their snapshot barriers at the exact same admitted-stream
+/// positions.
+#[test]
+fn pipelined_runs_are_bit_identical_to_alternating_runs() {
+    const REFS: u64 = 24_000;
+    for parallelism in [1usize, 2, 4] {
+        let plain = session(parallelism, None).run(&mut oltp(), REFS).unwrap();
+        let pipelined = session(parallelism, None)
+            .run_pipelined(&mut oltp(), REFS)
+            .unwrap();
+        assert_eq!(
+            plain.board.statistics_report(),
+            pipelined.board.statistics_report(),
+            "parallelism {parallelism}: pipelined run diverged"
+        );
+        assert_eq!(plain.retries_posted, pipelined.retries_posted);
+        assert_eq!(
+            plain.machine.total_loads() + plain.machine.total_stores(),
+            pipelined.machine.total_loads() + pipelined.machine.total_stores(),
+        );
+        assert_eq!(plain.bus.transactions, pipelined.bus.transactions);
+
+        // Monitored: mid-stream snapshot barriers at a prime period must
+        // land on identical sample positions and identical counters.
+        let monitored = session(parallelism, Some(997))
+            .run_monitored(&mut oltp(), REFS)
+            .unwrap();
+        let monitored_pipelined = session(parallelism, Some(997))
+            .run_monitored_pipelined(&mut oltp(), REFS)
+            .unwrap();
+        assert_eq!(
+            monitored.result.board.statistics_report(),
+            monitored_pipelined.result.board.statistics_report(),
+            "parallelism {parallelism}: monitored pipelined run diverged"
+        );
+        assert_eq!(
+            plain.board.statistics_report(),
+            monitored_pipelined.result.board.statistics_report(),
+            "parallelism {parallelism}: barriers changed pipelined final counters"
+        );
+        let s = monitored.series.points();
+        let p = monitored_pipelined.series.points();
+        assert_eq!(
+            s.len(),
+            p.len(),
+            "parallelism {parallelism}: sample count diverged"
+        );
+        for (a, b) in s.iter().zip(p) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(
+                a.snapshot.admitted(),
+                b.snapshot.admitted(),
+                "parallelism {parallelism}: sample {} at a different stream position",
+                a.index
+            );
+            assert_eq!(
+                a.cumulative, b.cumulative,
+                "parallelism {parallelism}: sample {} counters diverged",
+                a.index
+            );
+            assert_eq!(a.window, b.window);
+        }
+        assert!(
+            monitored_pipelined.telemetry.producer_blocks > 0,
+            "parallelism {parallelism}: producer never shipped a block"
+        );
+        assert_eq!(monitored.telemetry.producer_blocks, 0);
+    }
+}
+
+/// The point of the producer stage: on a consumer-bound configuration
+/// (expensive four-domain board, small engine batches) the alternating
+/// feed loop eats a worker-queue stall on nearly every batch, while the
+/// pipelined producer — shipping blocks four times the engine batch over
+/// its own queue — must stall strictly less often. The engine's own
+/// worker-queue backpressure moves to `consumer_stalls`, where it no
+/// longer blocks host simulation.
+#[test]
+fn pipelined_producer_stalls_less_than_the_alternating_feed_loop() {
+    const REFS: u64 = 30_000;
+    let session = session(2, None);
+    let options = ExecutionOptions::new();
+
+    let mut w = oltp();
+    let alternating = session
+        .execute(LiveSource::new(host(), &mut w, REFS), options)
+        .unwrap();
+
+    let mut w = oltp();
+    let source = PipelinedLiveSource::new(host(), &mut w, REFS).with_block_capacity(1024);
+    let pipelined = session.execute(source, options).unwrap();
+
+    assert_eq!(
+        alternating.board.statistics_report(),
+        pipelined.board.statistics_report(),
+        "stall experiment must still be bit-identical"
+    );
+    assert!(
+        alternating.telemetry.producer_stalls > 0,
+        "premise failed: the alternating feed loop never stalled \
+         (board not consumer-bound?)"
+    );
+    assert!(
+        pipelined.telemetry.producer_blocks > 0,
+        "producer never shipped a block"
+    );
+    assert!(
+        pipelined.telemetry.producer_stalls < alternating.telemetry.producer_stalls,
+        "pipelining did not reduce producer stalls: {} pipelined vs {} alternating",
+        pipelined.telemetry.producer_stalls,
+        alternating.telemetry.producer_stalls
+    );
+}
